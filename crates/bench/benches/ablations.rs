@@ -1,0 +1,37 @@
+//! Benches for the design-choice ablations of `DESIGN.md` §5:
+//! traceroute vs multi-hop ping, loss-adaptive batching, random
+//! response backoff, the shared kernel neighbor table, and the
+//! link-quality padding mechanism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for row in lv_testbed::experiments::ablation_traceroute_vs_ping(42) {
+        println!("ablation {:<28} {:<16} {:>10.0}", row.arm, row.metric, row.value);
+    }
+    for row in lv_testbed::experiments::ablation_neighbor_table() {
+        println!("ablation {:<28} {:<16} {:>10.0}", row.arm, row.metric, row.value);
+    }
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("batch_adaptive", |b| {
+        b.iter(|| black_box(lv_testbed::experiments::ablation_batch_adaptive(black_box(42))))
+    });
+    g.bench_function("response_backoff", |b| {
+        b.iter(|| {
+            black_box(lv_testbed::experiments::ablation_response_backoff(
+                black_box(42),
+                8,
+            ))
+        })
+    });
+    g.bench_function("padding", |b| {
+        b.iter(|| black_box(lv_testbed::experiments::ablation_padding(black_box(42))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

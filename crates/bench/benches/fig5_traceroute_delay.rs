@@ -1,0 +1,27 @@
+//! Bench for **Fig. 5** — traceroute response delay per hop.
+//!
+//! Criterion times the full experiment (build 8-hop corridor, warm up,
+//! run one traceroute, collect per-hop report arrivals); the figure's
+//! values themselves are printed once at startup so `cargo bench`
+//! output doubles as a regeneration log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated figure once.
+    let rows = lv_testbed::experiments::fig5_traceroute_delay(42);
+    println!("Fig. 5 (seed 42): hop → report delay");
+    for r in &rows {
+        println!("  hop {:>2}: {:>8.1} ms", r.hop, r.delay_ms);
+    }
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("traceroute_delay_8hop", |b| {
+        b.iter(|| black_box(lv_testbed::experiments::fig5_traceroute_delay(black_box(42))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

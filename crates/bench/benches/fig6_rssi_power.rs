@@ -1,0 +1,24 @@
+//! Bench for **Fig. 6** — per-hop RSSI at power levels 10 and 25.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = lv_testbed::experiments::fig6_rssi_vs_power(42);
+    println!("Fig. 6 (seed 42): hop → RSSI fwd/bwd at power 10 and 25");
+    for r in &rows {
+        println!(
+            "  hop {:>2}: p10 {:>4}/{:>4}   p25 {:>4}/{:>4}",
+            r.hop, r.fwd_p10, r.bwd_p10, r.fwd_p25, r.bwd_p25
+        );
+    }
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("rssi_vs_power_8hop", |b| {
+        b.iter(|| black_box(lv_testbed::experiments::fig6_rssi_vs_power(black_box(42))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

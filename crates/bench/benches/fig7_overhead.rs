@@ -1,0 +1,24 @@
+//! Bench for **Fig. 7** — traceroute overhead vs path length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = lv_testbed::experiments::fig7_overhead(42);
+    println!("Fig. 7 (seed 42): path length → control packets (acks)");
+    for r in &rows {
+        println!(
+            "  {:>2} hops: {:>3} packets ({} acks)",
+            r.hops, r.control_packets, r.acks
+        );
+    }
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("overhead_sweep_1_to_8", |b| {
+        b.iter(|| black_box(lv_testbed::experiments::fig7_overhead(black_box(42))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench for the substrate-validation link characterization (PRR/RSSI/
+//! LQI vs distance) — not a paper figure, but the curve the radio model
+//! must reproduce for every other figure to be meaningful.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = lv_testbed::experiments::characterize_links(42);
+    println!("link characterization (seed 42): distance → PRR");
+    for r in rows.iter().step_by(3) {
+        println!("  {:>5.1} m: PRR {:.2}", r.distance_m, r.prr);
+    }
+    let mut g = c.benchmark_group("linkchar");
+    g.sample_size(10);
+    g.bench_function("prr_vs_distance", |b| {
+        b.iter(|| black_box(lv_testbed::experiments::characterize_links(black_box(42))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Simulator throughput: how much deployment time one wall-clock second
+//! buys, at the paper's scale (30 nodes) and beyond. Not a paper figure
+//! — it documents that the substrate comfortably out-runs the physical
+//! testbed it replaces (a prerequisite for the interactive workflow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lv_kernel::Network;
+use lv_testbed::Topology;
+use lv_sim::SimDuration;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_scale");
+    g.sample_size(10);
+    for &n in &[9usize, 30, 100] {
+        g.bench_with_input(
+            BenchmarkId::new("10s_of_beaconing", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let topo = Topology::RandomDisk {
+                        n,
+                        side: (n as f64).sqrt() * 8.0,
+                    };
+                    let medium = topo.medium(Default::default(), 42);
+                    let mut net = Network::new(medium, 42);
+                    net.run_for(SimDuration::from_secs(10));
+                    black_box(net.counters.get("tx.beacon"))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benches for the paper's in-text numeric claims: the 500 ms fixed
+//! response window (T-resp), the sample one-hop ping (T-ping), the
+//! padding budget (T-pad), and the two-packet one-hop overhead (T-ovh1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tping = lv_testbed::experiments::text_ping_sample(42);
+    println!(
+        "T-ping (seed 42): RTT = {:.1} ms, LQI = {}/{}, RSSI = {}/{}, Queue = {}/{}",
+        tping.rtt_ms,
+        tping.lqi_fwd,
+        tping.lqi_bwd,
+        tping.rssi_fwd,
+        tping.rssi_bwd,
+        tping.queue_fwd,
+        tping.queue_bwd
+    );
+    let tpad = lv_testbed::experiments::text_padding_budget(42);
+    println!(
+        "T-pad (seed 42): {} entries observed over a {}-hop path (analytic max {})",
+        tpad.observed_entries, tpad.path_hops, tpad.analytic_max_hops
+    );
+    let tovh = lv_testbed::experiments::text_onehop_overhead(42);
+    println!(
+        "T-ovh1 (seed 42): {} data packets, {} acks",
+        tovh.data_packets, tovh.acks
+    );
+
+    let mut g = c.benchmark_group("text_metrics");
+    g.sample_size(10);
+    g.bench_function("text_response_delay", |b| {
+        b.iter(|| black_box(lv_testbed::experiments::text_response_delays(black_box(42), 2)))
+    });
+    g.bench_function("text_ping_rtt", |b| {
+        b.iter(|| black_box(lv_testbed::experiments::text_ping_sample(black_box(42))))
+    });
+    g.bench_function("text_onehop_overhead", |b| {
+        b.iter(|| black_box(lv_testbed::experiments::text_onehop_overhead(black_box(42))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

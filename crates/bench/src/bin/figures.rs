@@ -1,0 +1,294 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p lv-bench --bin figures --release -- all
+//! cargo run -p lv-bench --bin figures --release -- fig5 --seed 7
+//! cargo run -p lv-bench --bin figures --release -- fig7 --json
+//! ```
+//!
+//! Experiment ids follow `DESIGN.md` §4: fig5, fig6, fig7, tresp,
+//! tping, tpad, tfoot, tovh1, plus `ablations` for §5.
+
+use lv_bench::{table, Line};
+use lv_testbed::experiments as exp;
+use lv_testbed::results::to_json_lines;
+
+struct Args {
+    what: Vec<String>,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut what = Vec::new();
+    let mut seed = 42u64;
+    let mut json = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed <u64>");
+            }
+            "--json" => json = true,
+            other => what.push(other.to_owned()),
+        }
+    }
+    if what.is_empty() || what.iter().any(|w| w == "all") {
+        what = [
+            "fig5", "fig6", "fig7", "tresp", "tping", "tpad", "tfoot", "tovh1", "linkchar",
+            "ablations",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    Args { what, seed, json }
+}
+
+fn main() {
+    let args = parse_args();
+    for what in &args.what {
+        match what.as_str() {
+            "fig5" => fig5(args.seed, args.json),
+            "fig6" => fig6(args.seed, args.json),
+            "fig7" => fig7(args.seed, args.json),
+            "tresp" => tresp(args.seed, args.json),
+            "tping" => tping(args.seed, args.json),
+            "tpad" => tpad(args.seed, args.json),
+            "tfoot" => tfoot(args.json),
+            "tovh1" => tovh1(args.seed, args.json),
+            "linkchar" => linkchar(args.seed, args.json),
+            "ablations" => ablations(args.seed, args.json),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+fn fig5(seed: u64, json: bool) {
+    let rows = exp::fig5_traceroute_delay(seed);
+    if json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| Line(format!("{:>3}   {:>10.1}", r.hop, r.delay_ms)))
+        .collect();
+    print!(
+        "{}",
+        table(
+            "Fig. 5 — traceroute response delay per hop (8-hop corridor)",
+            "hop   delay [ms]",
+            &lines
+        )
+    );
+}
+
+fn fig6(seed: u64, json: bool) {
+    let rows = exp::fig6_rssi_vs_power(seed);
+    if json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| {
+            Line(format!(
+                "{:>3}   {:>8} {:>8}   {:>8} {:>8}",
+                r.hop, r.fwd_p10, r.bwd_p10, r.fwd_p25, r.bwd_p25
+            ))
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            "Fig. 6 — per-hop RSSI readings, forward/backward, power 10 vs 25",
+            "hop   fwd@10   bwd@10     fwd@25   bwd@25",
+            &lines
+        )
+    );
+}
+
+fn fig7(seed: u64, json: bool) {
+    let rows = exp::fig7_overhead(seed);
+    if json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| {
+            Line(format!(
+                "{:>4}   {:>15} {:>8}",
+                r.hops, r.control_packets, r.acks
+            ))
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            "Fig. 7 — traceroute command overhead vs path length",
+            "hops   control packets     acks",
+            &lines
+        )
+    );
+}
+
+fn tresp(seed: u64, json: bool) {
+    let rows = exp::text_response_delays(seed, 10);
+    if json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| {
+            Line(format!(
+                "{:<20} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>9}",
+                r.command, r.trials, r.mean_ms, r.min_ms, r.max_ms, r.answered
+            ))
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            "T-resp — fixed-window command response delays",
+            "command              trials  mean[ms]   min[ms]   max[ms]  answered",
+            &lines
+        )
+    );
+}
+
+fn tping(seed: u64, json: bool) {
+    let r = exp::text_ping_sample(seed);
+    if json {
+        println!("{}", serde_json::to_string(&r).unwrap());
+        return;
+    }
+    println!("== T-ping — sample one-hop ping (paper §III.B.3) ==");
+    println!(
+        "RTT = {:.1} ms, LQI = {}/{}, RSSI = {}/{}, Queue = {}/{}",
+        r.rtt_ms, r.lqi_fwd, r.lqi_bwd, r.rssi_fwd, r.rssi_bwd, r.queue_fwd, r.queue_bwd
+    );
+    println!("Power = {}, Channel = {}", r.power, r.channel);
+}
+
+fn tpad(seed: u64, json: bool) {
+    let r = exp::text_padding_budget(seed);
+    if json {
+        println!("{}", serde_json::to_string(&r).unwrap());
+        return;
+    }
+    println!("== T-pad — link-quality padding budget (paper §IV.C.3) ==");
+    println!(
+        "probe payload = {} B, {} B/hop, analytic max = {} hops",
+        r.probe_payload, r.bytes_per_hop, r.analytic_max_hops
+    );
+    println!(
+        "path of {} hops → observed {} recorded hop entries",
+        r.path_hops, r.observed_entries
+    );
+}
+
+fn tfoot(json: bool) {
+    let rows = exp::text_footprints();
+    if json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| {
+            Line(format!(
+                "{:<22} {:>8} {:>8}",
+                r.component, r.flash_bytes, r.ram_bytes
+            ))
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            "T-foot — component footprints (paper §IV.C.5/6)",
+            "component              flash[B]   ram[B]",
+            &lines
+        )
+    );
+}
+
+fn tovh1(seed: u64, json: bool) {
+    let r = exp::text_onehop_overhead(seed);
+    if json {
+        println!("{}", serde_json::to_string(&r).unwrap());
+        return;
+    }
+    println!("== T-ovh1 — one-hop command overhead (paper §V.C) ==");
+    println!(
+        "{}: {} data packets (+{} link acks)",
+        r.command, r.data_packets, r.acks
+    );
+}
+
+/// Render a metric value: scientific for tiny magnitudes (energy in
+/// joules), one decimal otherwise.
+fn format_value(v: f64) -> String {
+    if v != 0.0 && v.abs() < 0.1 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+fn linkchar(seed: u64, json: bool) {
+    let rows = exp::characterize_links(seed);
+    if json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| {
+            Line(format!(
+                "{:>6.1}   {:>5.2}   {:>8.1}   {:>7.1}",
+                r.distance_m, r.prr, r.mean_rssi, r.mean_lqi
+            ))
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            "Link characterization — PRR / RSSI / LQI vs distance (substrate validation)",
+            "  d[m]     PRR       RSSI       LQI",
+            &lines
+        )
+    );
+}
+
+fn ablations(seed: u64, json: bool) {
+    let mut rows = Vec::new();
+    rows.extend(exp::ablation_traceroute_vs_ping(seed));
+    rows.extend(exp::ablation_batch_adaptive(seed));
+    rows.extend(exp::ablation_response_backoff(seed, 8));
+    rows.extend(exp::ablation_beacon_rate(seed));
+    rows.extend(exp::ablation_energy(seed));
+    rows.extend(exp::ablation_neighbor_table());
+    rows.extend(exp::ablation_padding(seed));
+    if json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| Line(format!("{:<34} {:<22} {:>14}", r.arm, r.metric, format_value(r.value))))
+        .collect();
+    print!(
+        "{}",
+        table(
+            "Ablations (DESIGN.md §5)",
+            "arm                                metric                        value",
+            &lines
+        )
+    );
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # lv-bench — figure regeneration harness and criterion benches
+//!
+//! Two entry points:
+//!
+//! * the `figures` binary (`cargo run -p lv-bench --bin figures --release`)
+//!   re-runs every experiment of `DESIGN.md` §4 and prints the rows the
+//!   paper's tables and figures contain, as text and (with `--json`)
+//!   machine-readable lines;
+//! * the criterion benches (`cargo bench -p lv-bench`) time the same
+//!   drivers, one bench per table/figure, plus the ablations of §5.
+//!
+//! This library holds the shared table-formatting helpers.
+
+use std::fmt::Display;
+
+/// Render rows as a fixed-width text table.
+pub fn table<R: Display>(title: &str, header: &str, rows: &[R]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len().max(20)));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{r}\n"));
+    }
+    out
+}
+
+/// A displayable key-value pair line.
+pub struct Line(pub String);
+
+impl Display for Line {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let rows = vec![Line("a  1".into()), Line("b  2".into())];
+        let t = table("T", "k  v", &rows);
+        assert!(t.contains("== T =="));
+        assert!(t.contains("a  1"));
+        assert_eq!(t.lines().count(), 5);
+    }
+}

@@ -1,0 +1,331 @@
+//! The command interpreter — the workstation-side half of the toolkit.
+//!
+//! "LiteView consists of a command interpreter on the client side, and a
+//! runtime controller on the node side. … The command interpreter
+//! carries out three tasks. First, it translates each user command into
+//! a sequence of radio messages. … Second, it keeps track of the context
+//! of user management operations, such as the current directory …
+//! Finally, the command interpreter communicates with the runtime
+//! controller … following a reliable one-hop communication protocol."
+//!
+//! In the simulation, the interpreter runs as a process on the
+//! workstation's bridge mote, sharing its state with the external
+//! [`Workstation`](crate::workstation::Workstation) driver through an
+//! `Rc<RefCell<…>>` (single-threaded event loop, so this is the direct
+//! analogue of the serial cable between PC and base-station mote).
+
+use crate::commands::{Command, StatusRow, WORKSTATION_PORT};
+use crate::protocol::BatchReceiver;
+use crate::wire::{
+    BatchMsg, HopRecord, MgmtCommand, MgmtReply, MgmtRequest, MgmtResponse, PingSummary,
+    WireLogEntry, WireNeighbor,
+};
+use lv_kernel::{Process, ProcessImage, RxMeta, SysCtx};
+use lv_net::packet::{NetPacket, Port};
+use lv_sim::SimTime;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Timer token the workstation driver pokes to start queued commands.
+pub const KICK: u32 = 0;
+
+/// An issued command awaiting transmission.
+#[derive(Debug)]
+pub struct QueuedCommand {
+    /// Target node.
+    pub target: u16,
+    /// The command.
+    pub command: Command,
+    /// Request id assigned by the driver.
+    pub req_id: u8,
+}
+
+/// Progress of the in-flight command.
+#[derive(Debug, Default)]
+pub struct InFlight {
+    /// Request id.
+    pub req_id: u8,
+    /// Whether batch chunks carry log records (vs neighbor rows).
+    pub expect_log: bool,
+    /// Whether this is a group survey (replies accumulate per node).
+    pub group: bool,
+    /// Collected group rows.
+    pub group_rows: Vec<StatusRow>,
+    /// When the request hit the air.
+    pub issued_at: SimTime,
+    /// Terminal single-packet reply, once received.
+    pub reply: Option<MgmtReply>,
+    /// Ping summary (ping has its own reply type to keep arrival time).
+    pub ping: Option<PingSummary>,
+    /// Traceroute: protocol name.
+    pub protocol: Option<String>,
+    /// Traceroute: hop records with arrival timestamps.
+    pub hops: Vec<(HopRecord, SimTime)>,
+    /// Traceroute: completion signal.
+    pub tr_done: Option<(u8, bool)>,
+    /// Neighbor-list reassembly.
+    pub batch: Option<BatchReceiver>,
+    /// Decoded neighbor rows.
+    pub neighbors: Option<Vec<WireNeighbor>>,
+    /// Decoded log records.
+    pub log: Option<Vec<WireLogEntry>>,
+    /// Completion flag (variable-latency commands).
+    pub done: bool,
+    /// When the command completed.
+    pub completed_at: Option<SimTime>,
+}
+
+/// Interpreter state shared with the workstation driver.
+#[derive(Debug, Default)]
+pub struct WsState {
+    /// Commands queued by the driver.
+    pub queue: VecDeque<QueuedCommand>,
+    /// The in-flight command's progress.
+    pub current: Option<InFlight>,
+}
+
+/// Shared handle type.
+pub type SharedWsState = Rc<RefCell<WsState>>;
+
+/// The interpreter process.
+pub struct Interpreter {
+    state: SharedWsState,
+}
+
+impl Interpreter {
+    /// Create an interpreter around shared state.
+    pub fn new(state: SharedWsState) -> Self {
+        Interpreter { state }
+    }
+
+    fn mark_done(fl: &mut InFlight, now: SimTime) {
+        fl.done = true;
+        fl.completed_at.get_or_insert(now);
+    }
+
+    fn handle_response(&mut self, ctx: &mut SysCtx<'_>, resp: MgmtResponse) {
+        let mut st = self.state.borrow_mut();
+        let Some(fl) = st.current.as_mut() else {
+            return;
+        };
+        if resp.req_id != fl.req_id {
+            return; // stale response from an earlier command
+        }
+        let now = ctx.now;
+        if fl.group {
+            if let MgmtReply::Status {
+                power,
+                channel,
+                queue,
+                neighbors,
+            } = resp.reply
+            {
+                // One node answers once; duplicates (MAC-level) ignored.
+                if !fl.group_rows.iter().any(|r| r.node == resp.from) {
+                    fl.group_rows.push(StatusRow {
+                        node: resp.from,
+                        power,
+                        channel,
+                        queue,
+                        neighbors,
+                    });
+                }
+            }
+            return;
+        }
+        match resp.reply {
+            MgmtReply::PingSummary(s) => {
+                fl.ping = Some(s);
+                Self::mark_done(fl, now);
+            }
+            MgmtReply::TracerouteInfo { protocol } => {
+                fl.protocol = Some(protocol);
+            }
+            MgmtReply::TracerouteHop(h) => {
+                fl.hops.push((h, now));
+            }
+            MgmtReply::TracerouteDone { hops, reached } => {
+                fl.tr_done = Some((hops, reached));
+                Self::mark_done(fl, now);
+            }
+            MgmtReply::Error(code) => {
+                // Errors are terminal for every command shape.
+                fl.reply = Some(MgmtReply::Error(code));
+                Self::mark_done(fl, now);
+            }
+            other => {
+                fl.reply = Some(other);
+                fl.completed_at.get_or_insert(now);
+                // Fixed-window commands keep `done` false: the driver
+                // deliberately waits out the full 500 ms window.
+            }
+        }
+    }
+
+    fn handle_batch(&mut self, ctx: &mut SysCtx<'_>, packet: &NetPacket, msg: BatchMsg) {
+        let BatchMsg::Data {
+            req_id,
+            seq,
+            total,
+            ack_after,
+            payload,
+        } = msg
+        else {
+            return; // the interpreter never receives acks
+        };
+        let mut st = self.state.borrow_mut();
+        let Some(fl) = st.current.as_mut() else {
+            return;
+        };
+        if req_id != fl.req_id {
+            return;
+        }
+        let expect_log = fl.expect_log;
+        let rx = fl.batch.get_or_insert_with(|| BatchReceiver::new(req_id));
+        let ack = rx.on_data(req_id, seq, total, ack_after, payload);
+        let complete = rx.is_complete();
+        if complete && fl.neighbors.is_none() && fl.log.is_none() {
+            if expect_log {
+                let mut rows = Vec::new();
+                let mut ok = true;
+                for chunk in rx.assemble().unwrap_or_default() {
+                    match WireLogEntry::decode_list(&chunk) {
+                        Ok(mut r) => rows.append(&mut r),
+                        Err(_) => ok = false,
+                    }
+                }
+                if ok {
+                    fl.log = Some(rows);
+                    Self::mark_done(fl, ctx.now);
+                }
+            } else {
+                let mut rows = Vec::new();
+                let mut ok = true;
+                for chunk in rx.assemble().unwrap_or_default() {
+                    match WireNeighbor::decode_list(&chunk) {
+                        Ok(mut r) => rows.append(&mut r),
+                        Err(_) => ok = false,
+                    }
+                }
+                if ok {
+                    fl.neighbors = Some(rows);
+                    Self::mark_done(fl, ctx.now);
+                }
+            }
+        }
+        drop(st);
+        if let Some(ack) = ack {
+            // Acks flow back on the management port, one hop.
+            ctx.send(
+                packet.header.origin,
+                Port::MANAGEMENT,
+                Port::MANAGEMENT,
+                ack.encode(),
+                false,
+            );
+        }
+    }
+}
+
+impl Process for Interpreter {
+    fn name(&self) -> &str {
+        "liteview-interpreter"
+    }
+
+    fn image(&self) -> ProcessImage {
+        // Runs on the workstation-attached mote; similar scale to the
+        // controller.
+        ProcessImage {
+            flash_bytes: 4200,
+            ram_bytes: 400,
+        }
+    }
+
+    fn on_start(&mut self, ctx: &mut SysCtx<'_>) {
+        ctx.subscribe(WORKSTATION_PORT);
+    }
+
+    fn on_timer(&mut self, ctx: &mut SysCtx<'_>, token: u32) {
+        if token != KICK {
+            return;
+        }
+        let queued = {
+            let mut st = self.state.borrow_mut();
+            let Some(q) = st.queue.pop_front() else {
+                return;
+            };
+            st.current = Some(InFlight {
+                req_id: q.req_id,
+                issued_at: ctx.now,
+                expect_log: matches!(q.command, Command::ReadLog { .. }),
+                group: matches!(q.command, Command::GroupStatus),
+                ..Default::default()
+            });
+            q
+        };
+        let cmd = match queued.command {
+            Command::Status | Command::GroupStatus => MgmtCommand::GetStatus,
+            Command::GetPower => MgmtCommand::GetPower,
+            Command::SetPower(p) => MgmtCommand::SetPower(p),
+            Command::GetChannel => MgmtCommand::GetChannel,
+            Command::SetChannel(c) => MgmtCommand::SetChannel(c),
+            Command::NeighborList { with_quality } => MgmtCommand::NeighborList { with_quality },
+            Command::Blacklist { neighbor, add } => MgmtCommand::Blacklist { id: neighbor, add },
+            Command::UpdateBeacon { period } => MgmtCommand::UpdateBeacon {
+                period_ms: period.as_millis().max(1).min(u32::MAX as u64) as u32,
+            },
+            Command::SetLogging(on) => MgmtCommand::SetLogging(on),
+            Command::ReadLog { max } => MgmtCommand::ReadLog { max },
+            Command::Ping {
+                dst,
+                rounds,
+                length,
+                port,
+            } => MgmtCommand::Ping {
+                dst,
+                rounds,
+                length,
+                port: port.map_or(0, |p| p.0),
+            },
+            Command::Traceroute { dst, length, port } => MgmtCommand::Traceroute {
+                dst,
+                length,
+                port: port.0,
+            },
+        };
+        let req = MgmtRequest {
+            req_id: queued.req_id,
+            reply_node: ctx.node_id,
+            reply_port: WORKSTATION_PORT.0,
+            cmd,
+        };
+        // One hop to the target's runtime controller (GROUP_TARGET is
+        // the link-layer broadcast: every controller in range answers,
+        // each after its own random backoff).
+        ctx.send(
+            queued.target,
+            Port::MANAGEMENT,
+            Port::MANAGEMENT,
+            req.encode(),
+            false,
+        );
+        ctx.log("ws", format!("issued req {}", queued.req_id));
+    }
+
+    fn on_packet(&mut self, ctx: &mut SysCtx<'_>, packet: &NetPacket, _meta: RxMeta) {
+        match packet.payload.first() {
+            Some(&MgmtResponse::TAG) => {
+                if let Ok(resp) = MgmtResponse::decode(&packet.payload) {
+                    self.handle_response(ctx, resp);
+                }
+            }
+            Some(0x40) => {
+                if let Ok(msg) = BatchMsg::decode(&packet.payload) {
+                    self.handle_batch(ctx, packet, msg);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The workstation driver: the user's seat.
+//!
+//! Wraps the interpreter process with a synchronous, shell-like API:
+//! `cd` into a node (the LiteOS `/sn01/<name>` mount), then issue
+//! commands and get structured results plus paper-style transcript
+//! lines. Each `exec` drives the simulation forward for the command's
+//! response window — exactly what the human at the LiteOS shell
+//! experiences ("By default, all commands have a response delay of 500
+//! milliseconds").
+
+use crate::commands::{
+    Command, CommandResult, Execution, PingOutcome, TraceHop, TraceOutcome, GROUP_TARGET,
+};
+use crate::interpreter::{Interpreter, QueuedCommand, SharedWsState, WsState, KICK};
+use crate::output;
+use crate::wire::MgmtReply;
+use lv_kernel::{shell_path, Network};
+use lv_net::packet::Port;
+use lv_net::ports::ProcessId;
+use lv_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Simulation slice per progress check while waiting for replies.
+const POLL_SLICE: SimDuration = SimDuration::from_millis(5);
+
+/// The workstation attached (one hop) to a bridge mote.
+pub struct Workstation {
+    bridge: u16,
+    pid: ProcessId,
+    state: SharedWsState,
+    cwd: Option<u16>,
+    next_req: u8,
+    transcript: Vec<String>,
+}
+
+/// Errors from the shell-like surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShellError {
+    /// Unknown node name.
+    NoSuchNode(String),
+    /// No `cd` has been performed yet.
+    NoCwd,
+}
+
+impl Workstation {
+    /// Install the command interpreter on `bridge` and return the
+    /// driver. The LiteView runtime controller must be installed
+    /// separately on the managed nodes (see [`crate::install_suite`]).
+    pub fn install(net: &mut Network, bridge: u16) -> Workstation {
+        let state: SharedWsState = Rc::new(RefCell::new(WsState::default()));
+        let pid = net
+            .spawn_process(bridge, Box::new(Interpreter::new(state.clone())), vec![])
+            .expect("interpreter fits on the bridge mote");
+        // Let the spawn settle so the port subscription exists.
+        net.run_for(SimDuration::from_millis(1));
+        Workstation {
+            bridge,
+            pid,
+            state,
+            cwd: None,
+            next_req: 1,
+            transcript: Vec::new(),
+        }
+    }
+
+    /// The bridge node id.
+    pub fn bridge(&self) -> u16 {
+        self.bridge
+    }
+
+    /// "Log into" a node by name (the shell's `cd /sn01/<name>`).
+    pub fn cd(&mut self, net: &Network, name: &str) -> Result<u16, ShellError> {
+        match net.resolve(name) {
+            Some(id) => {
+                self.cwd = Some(id);
+                Ok(id)
+            }
+            None => Err(ShellError::NoSuchNode(name.to_owned())),
+        }
+    }
+
+    /// The shell's `pwd` output (e.g. `/sn01/192.168.0.1`).
+    pub fn pwd(&self, net: &Network) -> Result<String, ShellError> {
+        let id = self.cwd.ok_or(ShellError::NoCwd)?;
+        Ok(shell_path(&net.node(id).name))
+    }
+
+    /// The node commands currently execute on.
+    pub fn cwd(&self) -> Option<u16> {
+        self.cwd
+    }
+
+    /// Transcript of paper-style output lines from executed commands.
+    pub fn transcript(&self) -> &[String] {
+        &self.transcript
+    }
+
+    /// Clear the transcript.
+    pub fn clear_transcript(&mut self) {
+        self.transcript.clear();
+    }
+
+    fn alloc_req(&mut self) -> u8 {
+        let r = self.next_req;
+        self.next_req = self.next_req.wrapping_add(1).max(1);
+        r
+    }
+
+    /// Execute `command` on the node the shell is logged into.
+    pub fn exec(&mut self, net: &mut Network, command: Command) -> Result<Execution, ShellError> {
+        let target = self.cwd.ok_or(ShellError::NoCwd)?;
+        Ok(self.exec_on(net, target, command))
+    }
+
+    /// Execute `command` on an explicit target node.
+    pub fn exec_on(&mut self, net: &mut Network, target: u16, command: Command) -> Execution {
+        let req_id = self.alloc_req();
+        {
+            let mut st = self.state.borrow_mut();
+            st.queue.push_back(QueuedCommand {
+                target,
+                command: command.clone(),
+                req_id,
+            });
+            st.current = None;
+        }
+        let issued_at = net.now();
+        net.poke(self.bridge, self.pid, KICK);
+        let window = command.window();
+        let deadline = issued_at + window + command.grace();
+        let early = command.completes_early();
+        while net.now() < deadline {
+            net.run_for(POLL_SLICE);
+            if early && self.state.borrow().current.as_ref().is_some_and(|c| c.done) {
+                break;
+            }
+        }
+        let execution = self.collect(net, target, command, issued_at, window);
+        self.transcript
+            .extend(output::render(net, &execution));
+        execution
+    }
+
+    fn collect(
+        &mut self,
+        net: &Network,
+        target: u16,
+        command: Command,
+        issued_at: SimTime,
+        window: SimDuration,
+    ) -> Execution {
+        let mut st = self.state.borrow_mut();
+        let fl = st.current.take();
+        let (result, completed_at) = match fl {
+            None => (CommandResult::Timeout, None),
+            Some(fl) => {
+                let completed = fl.completed_at;
+                let result = if fl.group {
+                    let mut rows = fl.group_rows;
+                    rows.sort_by_key(|r| r.node);
+                    CommandResult::GroupStatus(rows)
+                } else if let Some(s) = fl.ping {
+                    CommandResult::Ping(PingOutcome {
+                        target: s.target,
+                        sent: s.sent,
+                        received: s.received,
+                        power: s.power,
+                        channel: s.channel,
+                        rounds: s.rounds,
+                    })
+                } else if let Some(MgmtReply::Error(code)) = fl.reply {
+                    CommandResult::Error(code)
+                } else if matches!(command, Command::Traceroute { .. }) {
+                    if fl.protocol.is_none() && fl.hops.is_empty() {
+                        CommandResult::Timeout
+                    } else {
+                        CommandResult::Traceroute(TraceOutcome {
+                            protocol: fl.protocol,
+                            hops: fl
+                                .hops
+                                .into_iter()
+                                .map(|(record, at)| TraceHop {
+                                    record,
+                                    arrival: at.saturating_since(issued_at),
+                                })
+                                .collect(),
+                            reached: fl.tr_done.is_some_and(|(_, r)| r),
+                        })
+                    }
+                } else if let Some(rows) = fl.neighbors {
+                    CommandResult::Neighbors(rows)
+                } else if let Some(rows) = fl.log {
+                    CommandResult::Log(rows)
+                } else {
+                    match fl.reply {
+                        Some(MgmtReply::Ok) => CommandResult::Ok,
+                        Some(MgmtReply::Power(p)) => CommandResult::Power(p),
+                        Some(MgmtReply::Channel(c)) => CommandResult::Channel(c),
+                        Some(MgmtReply::Status {
+                            power,
+                            channel,
+                            queue,
+                            neighbors,
+                        }) => CommandResult::Status {
+                            power,
+                            channel,
+                            queue,
+                            neighbors,
+                        },
+                        _ => CommandResult::Timeout,
+                    }
+                };
+                (result, completed)
+            }
+        };
+        // Fixed-window commands report the full window (the paper's
+        // constant 500 ms); early-completing ones report actual latency.
+        let response_delay = if command.completes_early() {
+            completed_at.map_or(window, |t| t.saturating_since(issued_at))
+        } else {
+            window
+        };
+        let _ = net;
+        Execution {
+            command,
+            target,
+            issued_at,
+            response_delay,
+            result,
+        }
+    }
+
+    // ---- convenience wrappers matching the paper's shell commands ----
+
+    /// `ping <dst> round=<rounds> length=<len> [port=<p>]`.
+    pub fn ping(
+        &mut self,
+        net: &mut Network,
+        dst: u16,
+        rounds: u8,
+        length: u8,
+        port: Option<Port>,
+    ) -> Result<Execution, ShellError> {
+        self.exec(
+            net,
+            Command::Ping {
+                dst,
+                rounds,
+                length,
+                port,
+            },
+        )
+    }
+
+    /// `traceroute <dst> length=<len> port=<p>`.
+    pub fn traceroute(
+        &mut self,
+        net: &mut Network,
+        dst: u16,
+        length: u8,
+        port: Port,
+    ) -> Result<Execution, ShellError> {
+        self.exec(net, Command::Traceroute { dst, length, port })
+    }
+
+    /// The neighborhood `list` command.
+    pub fn neighbor_list(
+        &mut self,
+        net: &mut Network,
+        with_quality: bool,
+    ) -> Result<Execution, ShellError> {
+        self.exec(net, Command::NeighborList { with_quality })
+    }
+
+    /// The `blacklist` command (add or remove).
+    pub fn blacklist(
+        &mut self,
+        net: &mut Network,
+        neighbor: u16,
+        add: bool,
+    ) -> Result<Execution, ShellError> {
+        self.exec(net, Command::Blacklist { neighbor, add })
+    }
+
+    /// Set the radio power level.
+    pub fn set_power(&mut self, net: &mut Network, level: u8) -> Result<Execution, ShellError> {
+        self.exec(net, Command::SetPower(level))
+    }
+
+    /// Read the radio power level.
+    pub fn get_power(&mut self, net: &mut Network) -> Result<Execution, ShellError> {
+        self.exec(net, Command::GetPower)
+    }
+
+    /// Set the radio channel.
+    pub fn set_channel(&mut self, net: &mut Network, channel: u8) -> Result<Execution, ShellError> {
+        self.exec(net, Command::SetChannel(channel))
+    }
+
+    /// Read the radio channel.
+    pub fn get_channel(&mut self, net: &mut Network) -> Result<Execution, ShellError> {
+        self.exec(net, Command::GetChannel)
+    }
+
+    /// Survey every node in radio range of the bridge with one
+    /// broadcast status query (the paper's group operation).
+    pub fn survey(&mut self, net: &mut Network) -> Execution {
+        self.exec_on(net, GROUP_TARGET, Command::GroupStatus)
+    }
+
+    /// Toggle a node's on-demand event logging.
+    pub fn set_logging(&mut self, net: &mut Network, on: bool) -> Result<Execution, ShellError> {
+        self.exec(net, Command::SetLogging(on))
+    }
+
+    /// Retrieve the most recent `max` entries of a node's event log.
+    pub fn read_log(&mut self, net: &mut Network, max: u8) -> Result<Execution, ShellError> {
+        self.exec(net, Command::ReadLog { max })
+    }
+
+    /// The neighborhood `update` command (beacon frequency).
+    pub fn update_beacon(
+        &mut self,
+        net: &mut Network,
+        period: SimDuration,
+    ) -> Result<Execution, ShellError> {
+        self.exec(net, Command::UpdateBeacon { period })
+    }
+}

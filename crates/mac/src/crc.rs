@@ -1,0 +1,92 @@
+//! CRC-16/CCITT-FALSE — the 802.15.4 frame check sequence.
+//!
+//! Polynomial 0x1021, initial value 0xFFFF, no reflection, no final XOR.
+//! The paper's receive path (Fig. 2): "When the packet is received by a
+//! neighbor, its CRC field is first checked for integrity."
+
+/// Compute the CRC-16/CCITT-FALSE of `data`.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Check a buffer whose final two bytes are the big-endian CRC of the
+/// preceding bytes.
+pub fn verify_crc(buf: &[u8]) -> bool {
+    if buf.len() < 2 {
+        return false;
+    }
+    let (body, trailer) = buf.split_at(buf.len() - 2);
+    let expect = u16::from_be_bytes([trailer[0], trailer[1]]);
+    crc16_ccitt(body) == expect
+}
+
+/// Append the big-endian CRC of `buf`'s current contents to it.
+pub fn append_crc(buf: &mut Vec<u8>) {
+    let crc = crc16_ccitt(buf);
+    buf.extend_from_slice(&crc.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // The classic CRC-16/CCITT-FALSE check value for "123456789".
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc16_ccitt(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn append_then_verify() {
+        let mut buf = b"liteview".to_vec();
+        append_crc(&mut buf);
+        assert!(verify_crc(&buf));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut buf = vec![0x11, 0x22, 0x33, 0x44, 0x55];
+        append_crc(&mut buf);
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut corrupted = buf.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(!verify_crc(&corrupted), "missed flip at {byte}.{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let mut buf = vec![1, 2, 3, 4];
+        append_crc(&mut buf);
+        assert!(!verify_crc(&buf[..buf.len() - 1]));
+        assert!(!verify_crc(&[]));
+        assert!(!verify_crc(&[0x12]));
+    }
+
+    #[test]
+    fn detects_swaps() {
+        let mut buf = vec![9, 8, 7, 6, 5];
+        append_crc(&mut buf);
+        let mut swapped = buf.clone();
+        swapped.swap(0, 1);
+        assert!(!verify_crc(&swapped));
+    }
+}

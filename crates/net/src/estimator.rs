@@ -1,0 +1,194 @@
+//! Windowed-EWMA link estimation from beacon sequence numbers.
+//!
+//! Neighbors broadcast beacons with a monotonically increasing sequence
+//! number. Gaps in the received sequence reveal losses, giving a
+//! packet-reception ratio per window; windows are smoothed with an EWMA
+//! (the WMEWMA estimator of Woo & Culler that MintRoute-era stacks used).
+//! The resulting `[0, 1]` quality is what the kernel neighbor table
+//! stores and the LiteView `neighbor list` command prints.
+
+/// Windowed-EWMA packet-reception estimator for one directed link.
+#[derive(Debug, Clone)]
+pub struct LinkEstimator {
+    last_seq: Option<u16>,
+    received: u32,
+    expected: u32,
+    quality: f64,
+    have_estimate: bool,
+    /// EWMA weight on the newest window.
+    alpha: f64,
+    /// Beacons per estimation window.
+    window: u32,
+}
+
+impl LinkEstimator {
+    /// Standard WMEWMA parameters: 8-beacon windows, α = 0.6.
+    pub fn new() -> Self {
+        Self::with_params(0.6, 8)
+    }
+
+    /// Custom smoothing weight and window size.
+    pub fn with_params(alpha: f64, window: u32) -> Self {
+        LinkEstimator {
+            last_seq: None,
+            received: 0,
+            expected: 0,
+            quality: 0.0,
+            have_estimate: false,
+            alpha: alpha.clamp(0.0, 1.0),
+            window: window.max(1),
+        }
+    }
+
+    /// Record a received beacon with sequence number `seq`.
+    pub fn on_beacon(&mut self, seq: u16) {
+        match self.last_seq {
+            None => {
+                // First contact: seed optimistically with one received of
+                // one expected, so a fresh neighbor is usable immediately.
+                self.received = 1;
+                self.expected = 1;
+            }
+            Some(last) => {
+                let gap = seq.wrapping_sub(last);
+                if gap == 0 {
+                    return; // duplicate beacon
+                }
+                self.expected += gap as u32;
+                self.received += 1;
+            }
+        }
+        self.last_seq = Some(seq);
+        if self.expected >= self.window {
+            self.fold_window();
+        }
+    }
+
+    fn fold_window(&mut self) {
+        let prr = (self.received as f64 / self.expected as f64).min(1.0);
+        self.quality = if self.have_estimate {
+            self.alpha * prr + (1.0 - self.alpha) * self.quality
+        } else {
+            prr
+        };
+        self.have_estimate = true;
+        self.received = 0;
+        self.expected = 0;
+    }
+
+    /// Current inbound quality estimate in `[0, 1]`.
+    ///
+    /// Before the first full window, returns the provisional in-window
+    /// ratio so new neighbors aren't reported as dead.
+    pub fn quality(&self) -> f64 {
+        if self.have_estimate {
+            self.quality
+        } else if self.expected > 0 {
+            (self.received as f64 / self.expected as f64).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Quality scaled to a byte, the representation beacons carry.
+    pub fn quality_u8(&self) -> u8 {
+        (self.quality() * 255.0).round().clamp(0.0, 255.0) as u8
+    }
+}
+
+impl Default for LinkEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Convert a byte-scaled quality back to `[0, 1]`.
+pub fn quality_from_u8(q: u8) -> f64 {
+    q as f64 / 255.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_link_converges_to_one() {
+        let mut e = LinkEstimator::new();
+        for seq in 0..64u16 {
+            e.on_beacon(seq);
+        }
+        assert!(e.quality() > 0.99, "q = {}", e.quality());
+        assert_eq!(e.quality_u8(), 255);
+    }
+
+    #[test]
+    fn half_loss_converges_to_half() {
+        let mut e = LinkEstimator::new();
+        for seq in (0..256u16).step_by(2) {
+            e.on_beacon(seq);
+        }
+        let q = e.quality();
+        assert!((q - 0.5).abs() < 0.08, "q = {q}");
+    }
+
+    #[test]
+    fn fresh_neighbor_immediately_usable() {
+        let mut e = LinkEstimator::new();
+        e.on_beacon(17);
+        assert!(e.quality() > 0.9);
+    }
+
+    #[test]
+    fn no_beacons_means_zero() {
+        let e = LinkEstimator::new();
+        assert_eq!(e.quality(), 0.0);
+        assert_eq!(e.quality_u8(), 0);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut e1 = LinkEstimator::new();
+        let mut e2 = LinkEstimator::new();
+        for seq in 0..32u16 {
+            e1.on_beacon(seq);
+            e2.on_beacon(seq);
+            e2.on_beacon(seq); // duplicate delivery
+        }
+        assert_eq!(e1.quality(), e2.quality());
+    }
+
+    #[test]
+    fn sequence_wrap_handled() {
+        let mut e = LinkEstimator::new();
+        for i in 0..32u16 {
+            e.on_beacon((u16::MAX - 8).wrapping_add(i)); // wraps through 0
+        }
+        assert!(e.quality() > 0.99, "q = {}", e.quality());
+    }
+
+    #[test]
+    fn degradation_tracks_recent_loss() {
+        let mut e = LinkEstimator::new();
+        for seq in 0..64u16 {
+            e.on_beacon(seq);
+        }
+        let good = e.quality();
+        // Now lose 3 of every 4 beacons for a while.
+        let mut seq = 64u16;
+        for _ in 0..16 {
+            e.on_beacon(seq);
+            seq = seq.wrapping_add(4);
+        }
+        assert!(e.quality() < good - 0.3, "q = {}", e.quality());
+    }
+
+    #[test]
+    fn u8_round_trip() {
+        let mut e = LinkEstimator::new();
+        for seq in (0..128u16).step_by(2) {
+            e.on_beacon(seq);
+        }
+        let q = quality_from_u8(e.quality_u8());
+        assert!((q - e.quality()).abs() < 0.01);
+    }
+}

@@ -1,0 +1,77 @@
+//! Link-quality padding entries.
+//!
+//! Each hop contributes exactly two bytes — one LQI byte and one signed
+//! RSSI byte — appended past the application payload (Section IV.C.3).
+//! "Note that the packet will be longer and longer when it is delivered
+//! along the path": the entries accumulate in hop order, so the source
+//! can reconstruct the per-hop quality profile of the whole path.
+
+/// One hop's link-quality sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopQuality {
+    /// CC2420 LQI (50–110).
+    pub lqi: u8,
+    /// CC2420 RSSI register value.
+    pub rssi: i8,
+}
+
+impl HopQuality {
+    /// Bytes one hop occupies on the wire.
+    pub const WIRE_BYTES: usize = 2;
+
+    /// Append this hop's two bytes to a padding buffer.
+    pub fn append_to(self, buf: &mut Vec<u8>) {
+        buf.push(self.lqi);
+        buf.push(self.rssi as u8);
+    }
+
+    /// Parse every complete hop entry from a padding buffer (a trailing
+    /// odd byte, which a conformant stack never produces, is ignored).
+    pub fn parse_all(buf: &[u8]) -> Vec<HopQuality> {
+        buf.chunks_exact(Self::WIRE_BYTES)
+            .map(|c| HopQuality {
+                lqi: c[0],
+                rssi: c[1] as i8,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bytes_per_hop() {
+        let mut buf = Vec::new();
+        HopQuality { lqi: 108, rssi: -1 }.append_to(&mut buf);
+        assert_eq!(buf.len(), HopQuality::WIRE_BYTES);
+    }
+
+    #[test]
+    fn round_trip_preserves_sign() {
+        let hops = [
+            HopQuality { lqi: 110, rssi: 8 },
+            HopQuality { lqi: 50, rssi: -50 },
+            HopQuality { lqi: 106, rssi: -1 },
+        ];
+        let mut buf = Vec::new();
+        for h in hops {
+            h.append_to(&mut buf);
+        }
+        assert_eq!(HopQuality::parse_all(&buf), hops);
+    }
+
+    #[test]
+    fn trailing_odd_byte_ignored() {
+        let mut buf = Vec::new();
+        HopQuality { lqi: 100, rssi: 0 }.append_to(&mut buf);
+        buf.push(0xEE);
+        assert_eq!(HopQuality::parse_all(&buf).len(), 1);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert!(HopQuality::parse_all(&[]).is_empty());
+    }
+}

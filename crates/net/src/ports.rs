@@ -1,0 +1,130 @@
+//! The port map: the subscription registry of Figure 2.
+//!
+//! "its port number is matched against each process that is listening to
+//! incoming packets. The thread that has a match in port number is
+//! considered the right thread for the incoming packet."
+
+use crate::packet::Port;
+use std::collections::BTreeMap;
+
+/// Identifier of a process/thread on a node (kernel-assigned).
+pub type ProcessId = u32;
+
+/// Port → subscriber registry for one node.
+#[derive(Debug, Default, Clone)]
+pub struct PortMap {
+    subs: BTreeMap<Port, ProcessId>,
+}
+
+/// Why a subscription was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscribeError {
+    /// Another process already listens on this port.
+    PortInUse {
+        /// The process currently holding the port.
+        holder: ProcessId,
+    },
+}
+
+impl PortMap {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribe `pid` to `port`. Each port has at most one listener —
+    /// ports are how the stack demultiplexes, so sharing would be
+    /// ambiguous.
+    pub fn subscribe(&mut self, port: Port, pid: ProcessId) -> Result<(), SubscribeError> {
+        match self.subs.get(&port) {
+            Some(&holder) if holder != pid => Err(SubscribeError::PortInUse { holder }),
+            _ => {
+                self.subs.insert(port, pid);
+                Ok(())
+            }
+        }
+    }
+
+    /// Remove the subscription on `port` (no-op if absent).
+    pub fn unsubscribe(&mut self, port: Port) {
+        self.subs.remove(&port);
+    }
+
+    /// Remove every subscription held by `pid` (process exit).
+    pub fn unsubscribe_all(&mut self, pid: ProcessId) {
+        self.subs.retain(|_, &mut p| p != pid);
+    }
+
+    /// Who listens on `port`?
+    pub fn lookup(&self, port: Port) -> Option<ProcessId> {
+        self.subs.get(&port).copied()
+    }
+
+    /// Every `(port, pid)` pair, in port order.
+    pub fn iter(&self) -> impl Iterator<Item = (Port, ProcessId)> + '_ {
+        self.subs.iter().map(|(&port, &pid)| (port, pid))
+    }
+
+    /// Number of active subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// True when nothing is subscribed.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribe_and_lookup() {
+        let mut pm = PortMap::new();
+        pm.subscribe(Port::PING, 4).unwrap();
+        assert_eq!(pm.lookup(Port::PING), Some(4));
+        assert_eq!(pm.lookup(Port::TRACEROUTE), None);
+    }
+
+    #[test]
+    fn exclusive_ownership() {
+        let mut pm = PortMap::new();
+        pm.subscribe(Port(9), 1).unwrap();
+        assert_eq!(
+            pm.subscribe(Port(9), 2),
+            Err(SubscribeError::PortInUse { holder: 1 })
+        );
+        // Re-subscribing by the same pid is idempotent.
+        assert!(pm.subscribe(Port(9), 1).is_ok());
+    }
+
+    #[test]
+    fn unsubscribe_frees_port() {
+        let mut pm = PortMap::new();
+        pm.subscribe(Port(9), 1).unwrap();
+        pm.unsubscribe(Port(9));
+        assert!(pm.subscribe(Port(9), 2).is_ok());
+    }
+
+    #[test]
+    fn unsubscribe_all_on_exit() {
+        let mut pm = PortMap::new();
+        pm.subscribe(Port(1), 7).unwrap();
+        pm.subscribe(Port(2), 7).unwrap();
+        pm.subscribe(Port(3), 8).unwrap();
+        pm.unsubscribe_all(7);
+        assert_eq!(pm.len(), 1);
+        assert_eq!(pm.lookup(Port(3)), Some(8));
+    }
+
+    #[test]
+    fn iter_is_port_ordered() {
+        let mut pm = PortMap::new();
+        pm.subscribe(Port(5), 1).unwrap();
+        pm.subscribe(Port(2), 2).unwrap();
+        let ports: Vec<u8> = pm.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(ports, vec![2, 5]);
+    }
+}

@@ -1,0 +1,377 @@
+//! The shared wireless medium: geometry + propagation + noise.
+//!
+//! `Medium` answers the question the MAC and the event loop keep asking:
+//! *if node A transmits at power P, what does node B experience?* It
+//! combines node positions, the [`LogDistance`](crate::propagation)
+//! model, per-directed-link overrides (for failure injection), and the
+//! noise floor into a single deterministic assessment.
+//!
+//! Interference is handled by the caller (the network orchestrator keeps
+//! the list of concurrently active transmissions) and passed in as an
+//! aggregate interference power, so the medium itself stays stateless
+//! about time.
+
+use crate::lqi::lqi_from_snr;
+use crate::per::packet_error_rate;
+use crate::power::PowerLevel;
+use crate::propagation::{LogDistance, PropagationConfig};
+use crate::rssi::rssi_register;
+use crate::units::{Dbm, Meters, Position};
+use lv_sim::SimRng;
+use std::collections::HashMap;
+
+/// Per-directed-link modifier used for failure and asymmetry injection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkOverride {
+    /// Extra attenuation applied to this directed link, dB.
+    pub extra_loss_db: f64,
+    /// Hard-block the link entirely (models a metal enclosure edge or a
+    /// removed antenna).
+    pub blocked: bool,
+}
+
+/// The outcome of one frame reception attempt at a specific receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct RxAssessment {
+    /// Received signal power at the antenna.
+    pub rx_power: Dbm,
+    /// Signal-to-(noise+interference) ratio in dB.
+    pub snr_db: f64,
+    /// Whether the frame decoded successfully (PER draw already taken).
+    pub delivered: bool,
+    /// The RSSI register value the receiver would report.
+    pub rssi: i8,
+    /// The LQI value the receiver would report.
+    pub lqi: u8,
+}
+
+/// The shared medium.
+///
+/// ```
+/// use lv_radio::{Medium, Position, PowerLevel, PropagationConfig};
+/// use lv_sim::SimRng;
+///
+/// let medium = Medium::new(
+///     vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0)],
+///     PropagationConfig::default(),
+///     42,
+/// );
+/// assert!(medium.hears(0, 1, PowerLevel::MAX));
+/// let mut rng = SimRng::stream(42, 1);
+/// let rx = medium.assess(0, 1, PowerLevel::MAX, 40, 0.0, &mut rng).unwrap();
+/// assert!(rx.lqi >= 50 && rx.lqi <= 110);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Medium {
+    positions: Vec<Position>,
+    propagation: LogDistance,
+    /// Thermal noise floor.
+    noise_floor: Dbm,
+    /// Minimum power at which the radio synchronizes to a frame at all.
+    sensitivity: Dbm,
+    /// Power above which CCA reports the channel busy.
+    cca_threshold: Dbm,
+    overrides: HashMap<(u16, u16), LinkOverride>,
+    /// Nodes whose radio is administratively dead (failure injection).
+    dead: Vec<bool>,
+}
+
+impl Medium {
+    /// Build a medium for `positions` (indexed by node id) with default
+    /// CC2420-class constants.
+    pub fn new(positions: Vec<Position>, config: PropagationConfig, seed: u64) -> Self {
+        let n = positions.len();
+        Medium {
+            positions,
+            propagation: LogDistance::new(config, seed),
+            noise_floor: Dbm(-98.0),
+            sensitivity: Dbm(-95.0),
+            cca_threshold: Dbm(-77.0),
+            overrides: HashMap::new(),
+            dead: vec![false; n],
+        }
+    }
+
+    /// Number of nodes the medium knows about.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of node `id`.
+    pub fn position(&self, id: u16) -> Position {
+        self.positions[id as usize]
+    }
+
+    /// Move node `id` (the "adjusting node positions" management action).
+    pub fn set_position(&mut self, id: u16, pos: Position) {
+        self.positions[id as usize] = pos;
+    }
+
+    /// The noise floor.
+    pub fn noise_floor(&self) -> Dbm {
+        self.noise_floor
+    }
+
+    /// The CCA busy threshold.
+    pub fn cca_threshold(&self) -> Dbm {
+        self.cca_threshold
+    }
+
+    /// The synchronization sensitivity.
+    pub fn sensitivity(&self) -> Dbm {
+        self.sensitivity
+    }
+
+    /// Apply a directed-link override (failure / asymmetry injection).
+    pub fn set_override(&mut self, from: u16, to: u16, ov: LinkOverride) {
+        self.overrides.insert((from, to), ov);
+    }
+
+    /// Remove a directed-link override.
+    pub fn clear_override(&mut self, from: u16, to: u16) {
+        self.overrides.remove(&(from, to));
+    }
+
+    /// Administratively kill / revive a node's radio.
+    pub fn set_dead(&mut self, id: u16, dead: bool) {
+        self.dead[id as usize] = dead;
+    }
+
+    /// Whether a node's radio is dead.
+    pub fn is_dead(&self, id: u16) -> bool {
+        self.dead[id as usize]
+    }
+
+    fn link_distance(&self, from: u16, to: u16) -> Meters {
+        self.positions[from as usize].distance(self.positions[to as usize])
+    }
+
+    /// Expected (fading-free) received power on the directed link.
+    /// Returns `None` if either radio is dead or the link is blocked.
+    pub fn mean_rx_power(&self, from: u16, to: u16, power: PowerLevel) -> Option<Dbm> {
+        if self.dead[from as usize] || self.dead[to as usize] {
+            return None;
+        }
+        let ov = self.overrides.get(&(from, to)).copied().unwrap_or_default();
+        if ov.blocked {
+            return None;
+        }
+        let d = self.link_distance(from, to);
+        let p = self
+            .propagation
+            .mean_received_power(power.dbm(), from, to, d);
+        Some(p - ov.extra_loss_db)
+    }
+
+    /// Whether `to` can plausibly synchronize to frames from `from` at
+    /// `power` (mean received power above sensitivity). Used by topology
+    /// generators and by the event loop to bound the set of receivers
+    /// that get an RxEnd event at all.
+    pub fn hears(&self, from: u16, to: u16, power: PowerLevel) -> bool {
+        // Keep a 6 dB margin below sensitivity so deep-fade receivers
+        // still see (and are interfered by) borderline frames.
+        self.mean_rx_power(from, to, power)
+            .is_some_and(|p| p.0 >= self.sensitivity.0 - 6.0)
+    }
+
+    /// Assess one frame reception attempt, drawing fast fading and the
+    /// PER Bernoulli from `rng` (use the receiver's stream).
+    ///
+    /// `interference_mw` is the aggregate power (in mW) of co-channel
+    /// transmissions overlapping this frame at the receiver; zero when
+    /// the channel was otherwise quiet.
+    pub fn assess(
+        &self,
+        from: u16,
+        to: u16,
+        power: PowerLevel,
+        frame_bytes: usize,
+        interference_mw: f64,
+        rng: &mut SimRng,
+    ) -> Option<RxAssessment> {
+        if self.dead[from as usize] || self.dead[to as usize] {
+            return None;
+        }
+        let ov = self.overrides.get(&(from, to)).copied().unwrap_or_default();
+        if ov.blocked {
+            return None;
+        }
+        let d = self.link_distance(from, to);
+        let rx_power = self
+            .propagation
+            .received_power(power.dbm(), from, to, d, rng)
+            - ov.extra_loss_db;
+        if rx_power.0 < self.sensitivity.0 {
+            return None; // below sync threshold: the radio never sees it
+        }
+        let noise_mw = self.noise_floor.to_mw() + interference_mw;
+        let snr_db = rx_power.0 - Dbm::from_mw(noise_mw).0;
+        let per = packet_error_rate(snr_db, frame_bytes);
+        let delivered = !rng.chance(per);
+        Some(RxAssessment {
+            rx_power,
+            snr_db,
+            delivered,
+            rssi: rssi_register(rx_power),
+            lqi: lqi_from_snr(snr_db, rng),
+        })
+    }
+
+    /// Received power (with fading) for CCA purposes: does `listener`
+    /// sense energy from a transmission by `from` at `power`?
+    pub fn cca_senses(
+        &self,
+        from: u16,
+        listener: u16,
+        power: PowerLevel,
+        rng: &mut SimRng,
+    ) -> bool {
+        if from == listener {
+            return false;
+        }
+        let Some(mean) = self.mean_rx_power(from, listener, power) else {
+            return false;
+        };
+        let jitter = rng.normal(0.0, 1.0);
+        mean.0 + jitter >= self.cca_threshold.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_medium(n: usize, spacing: f64) -> Medium {
+        let positions = (0..n)
+            .map(|i| Position::new(i as f64 * spacing, 0.0))
+            .collect();
+        Medium::new(positions, PropagationConfig::default(), 42)
+    }
+
+    #[test]
+    fn close_nodes_hear_each_other() {
+        let m = line_medium(2, 5.0);
+        assert!(m.hears(0, 1, PowerLevel::MAX));
+        assert!(m.hears(1, 0, PowerLevel::MAX));
+    }
+
+    #[test]
+    fn distant_nodes_do_not() {
+        let m = line_medium(2, 500.0);
+        assert!(!m.hears(0, 1, PowerLevel::MAX));
+    }
+
+    #[test]
+    fn power_extends_range() {
+        // Find a distance heard at MAX but not at MIN power.
+        let mut found = false;
+        for d in 1..100 {
+            let m = line_medium(2, d as f64);
+            if m.hears(0, 1, PowerLevel::MAX) && !m.hears(0, 1, PowerLevel::MIN) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected a distance separating MIN and MAX range");
+    }
+
+    #[test]
+    fn blocked_link_yields_nothing() {
+        let mut m = line_medium(2, 5.0);
+        m.set_override(
+            0,
+            1,
+            LinkOverride {
+                blocked: true,
+                ..Default::default()
+            },
+        );
+        assert!(m.mean_rx_power(0, 1, PowerLevel::MAX).is_none());
+        // ... but the reverse direction still works: an asymmetric break.
+        assert!(m.mean_rx_power(1, 0, PowerLevel::MAX).is_some());
+        let mut rng = SimRng::stream(1, 1);
+        assert!(m.assess(0, 1, PowerLevel::MAX, 40, 0.0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn extra_loss_reduces_power() {
+        let mut m = line_medium(2, 5.0);
+        let before = m.mean_rx_power(0, 1, PowerLevel::MAX).unwrap();
+        m.set_override(
+            0,
+            1,
+            LinkOverride {
+                extra_loss_db: 20.0,
+                blocked: false,
+            },
+        );
+        let after = m.mean_rx_power(0, 1, PowerLevel::MAX).unwrap();
+        assert!((before.0 - after.0 - 20.0).abs() < 1e-9);
+        m.clear_override(0, 1);
+        assert_eq!(m.mean_rx_power(0, 1, PowerLevel::MAX).unwrap().0, before.0);
+    }
+
+    #[test]
+    fn dead_node_is_silent() {
+        let mut m = line_medium(2, 5.0);
+        m.set_dead(0, true);
+        assert!(m.is_dead(0));
+        assert!(m.mean_rx_power(0, 1, PowerLevel::MAX).is_none());
+        assert!(m.mean_rx_power(1, 0, PowerLevel::MAX).is_none());
+        m.set_dead(0, false);
+        assert!(m.mean_rx_power(0, 1, PowerLevel::MAX).is_some());
+    }
+
+    #[test]
+    fn good_link_delivers_with_high_rssi_lqi() {
+        let m = line_medium(2, 3.0);
+        let mut rng = SimRng::stream(9, 9);
+        let mut delivered = 0;
+        for _ in 0..200 {
+            let a = m
+                .assess(0, 1, PowerLevel::MAX, 40, 0.0, &mut rng)
+                .expect("in range");
+            if a.delivered {
+                delivered += 1;
+                assert!(a.lqi >= 100, "lqi = {}", a.lqi);
+            }
+        }
+        assert!(delivered >= 195, "delivered = {delivered}");
+    }
+
+    #[test]
+    fn interference_degrades_snr() {
+        let m = line_medium(2, 10.0);
+        let mut rng1 = SimRng::stream(5, 5);
+        let mut rng2 = SimRng::stream(5, 5);
+        let quiet = m.assess(0, 1, PowerLevel::MAX, 40, 0.0, &mut rng1).unwrap();
+        // Interference comparable to the signal itself.
+        let interference = quiet.rx_power.to_mw();
+        let noisy = m
+            .assess(0, 1, PowerLevel::MAX, 40, interference, &mut rng2)
+            .unwrap();
+        assert!(noisy.snr_db < quiet.snr_db - 2.0);
+    }
+
+    #[test]
+    fn cca_senses_nearby_transmitter() {
+        let m = line_medium(2, 3.0);
+        let mut rng = SimRng::stream(6, 6);
+        let senses = (0..100)
+            .filter(|_| m.cca_senses(0, 1, PowerLevel::MAX, &mut rng))
+            .count();
+        assert!(senses >= 99);
+        // Never senses itself.
+        assert!(!m.cca_senses(1, 1, PowerLevel::MAX, &mut rng));
+    }
+
+    #[test]
+    fn moving_a_node_changes_link() {
+        let mut m = line_medium(2, 5.0);
+        let before = m.mean_rx_power(0, 1, PowerLevel::MAX).unwrap();
+        m.set_position(1, Position::new(50.0, 0.0));
+        let after = m.mean_rx_power(0, 1, PowerLevel::MAX).unwrap();
+        assert!(after.0 < before.0 - 20.0);
+        assert_eq!(m.position(1), Position::new(50.0, 0.0));
+    }
+}

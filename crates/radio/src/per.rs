@@ -1,0 +1,101 @@
+//! Bit- and packet-error rates for the 802.15.4 2.4 GHz PHY.
+//!
+//! The 2.4 GHz PHY is O-QPSK with 16-ary orthogonal DSSS (32-chip
+//! sequences, 4 bits/symbol, 250 kbps). The standard's own analytical
+//! BER expression (IEEE 802.15.4-2006 Annex E, also used by
+//! Zuniga–Krishnamachari) is
+//!
+//! ```text
+//! BER = (8/15) · (1/16) · Σ_{k=2}^{16} (−1)^k · C(16,k) · exp(20·γ·(1/k − 1))
+//! ```
+//!
+//! with `γ` the *linear* SNR. A packet of `n` bytes then survives with
+//! probability `(1 − BER)^(8·n)`.
+
+/// Binomial coefficients C(16, k) for k = 0..=16.
+const C16: [f64; 17] = [
+    1.0, 16.0, 120.0, 560.0, 1820.0, 4368.0, 8008.0, 11440.0, 12870.0, 11440.0, 8008.0, 4368.0,
+    1820.0, 560.0, 120.0, 16.0, 1.0,
+];
+
+/// Bit error rate of the 802.15.4 O-QPSK DSSS PHY at `snr_db`.
+pub fn ber_oqpsk(snr_db: f64) -> f64 {
+    let gamma = 10f64.powf(snr_db / 10.0);
+    let mut acc = 0.0;
+    for (k, &c16k) in C16.iter().enumerate().take(17).skip(2) {
+        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+        acc += sign * c16k * (20.0 * gamma * (1.0 / k as f64 - 1.0)).exp();
+    }
+    ((8.0 / 15.0) * (1.0 / 16.0) * acc).clamp(0.0, 0.5)
+}
+
+/// Probability that a frame of `frame_bytes` bytes (PHY payload incl.
+/// headers and CRC) is corrupted at `snr_db`.
+pub fn packet_error_rate(snr_db: f64, frame_bytes: usize) -> f64 {
+    let ber = ber_oqpsk(snr_db);
+    let bits = (frame_bytes * 8) as f64;
+    1.0 - (1.0 - ber).powf(bits)
+}
+
+/// Packet reception ratio (1 − PER); the quantity link estimators track.
+pub fn packet_reception_ratio(snr_db: f64, frame_bytes: usize) -> f64 {
+    1.0 - packet_error_rate(snr_db, frame_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_limits() {
+        // Deep fade: BER approaches 1/2; strong signal: effectively 0.
+        assert!(ber_oqpsk(-20.0) > 0.3);
+        assert!(ber_oqpsk(20.0) < 1e-12);
+    }
+
+    #[test]
+    fn ber_monotone_decreasing() {
+        let mut prev = 1.0;
+        let mut snr = -15.0;
+        while snr <= 15.0 {
+            let b = ber_oqpsk(snr);
+            assert!(b <= prev + 1e-15, "snr {snr}: {b} > {prev}");
+            prev = b;
+            snr += 0.25;
+        }
+    }
+
+    #[test]
+    fn transitional_region_position() {
+        // The waterfall for ~50-byte frames sits in the −3…+2 dB SNR
+        // range: essentially no packets below −3 dB, essentially all
+        // above +2 dB.
+        assert!(packet_error_rate(-3.0, 50) > 0.99);
+        assert!(packet_error_rate(2.0, 50) < 0.01);
+    }
+
+    #[test]
+    fn per_increases_with_length() {
+        let snr = 2.0;
+        let short = packet_error_rate(snr, 20);
+        let long = packet_error_rate(snr, 100);
+        assert!(long > short, "short {short}, long {long}");
+    }
+
+    #[test]
+    fn per_bounds() {
+        for snr in [-30.0, -5.0, 0.0, 3.0, 10.0, 40.0] {
+            for len in [1usize, 32, 64, 127] {
+                let p = packet_error_rate(snr, len);
+                assert!((0.0..=1.0).contains(&p), "snr {snr} len {len}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn prr_complements_per() {
+        let p = packet_error_rate(2.0, 40);
+        let r = packet_reception_ratio(2.0, 40);
+        assert!((p + r - 1.0).abs() < 1e-12);
+    }
+}

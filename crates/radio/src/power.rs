@@ -1,0 +1,148 @@
+//! CC2420 programmable output power.
+//!
+//! The CC2420 `TXCTRL.PA_LEVEL` field takes values 0–31; the datasheet
+//! documents eight calibration points from 0 dBm (level 31) down to
+//! −25 dBm (level 3). Section III.B.1 of the paper: "The CC2420 radio
+//! installed on MicaZ motes supports programmed output power ranging from
+//! −25 dBm to 0 dBm", and the sample ping output shows `Power = 31`.
+//! Figure 6 compares power levels 10 and 25, neither of which is a
+//! datasheet calibration point, so intermediate levels are linearly
+//! interpolated between neighbours — the same approximation TinyOS and
+//! LiteOS radio drivers use.
+
+use crate::units::Dbm;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Datasheet calibration points: `(PA_LEVEL, dBm)`.
+const CALIBRATION: [(u8, f64); 8] = [
+    (3, -25.0),
+    (7, -15.0),
+    (11, -10.0),
+    (15, -7.0),
+    (19, -5.0),
+    (23, -3.0),
+    (27, -1.0),
+    (31, 0.0),
+];
+
+/// A CC2420 `PA_LEVEL` register value (0–31).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PowerLevel(u8);
+
+impl PowerLevel {
+    /// Maximum output power (0 dBm), the LiteOS default shown in the
+    /// paper's sample ping output.
+    pub const MAX: PowerLevel = PowerLevel(31);
+    /// Minimum documented output power (−25 dBm).
+    pub const MIN: PowerLevel = PowerLevel(3);
+
+    /// Construct a power level; values above 31 are rejected, and values
+    /// below the minimum calibration point (3) are clamped up to it, since
+    /// the hardware's behaviour below level 3 is undocumented.
+    pub fn new(level: u8) -> Option<PowerLevel> {
+        if level > 31 {
+            None
+        } else {
+            Some(PowerLevel(level.max(3)))
+        }
+    }
+
+    /// Raw register value.
+    pub fn level(self) -> u8 {
+        self.0
+    }
+
+    /// Radiated power in dBm, interpolated between calibration points.
+    pub fn dbm(self) -> Dbm {
+        let l = self.0;
+        // Find the bracketing calibration points.
+        let mut lo = CALIBRATION[0];
+        let mut hi = CALIBRATION[CALIBRATION.len() - 1];
+        for w in CALIBRATION.windows(2) {
+            if l >= w[0].0 && l <= w[1].0 {
+                lo = w[0];
+                hi = w[1];
+                break;
+            }
+        }
+        if lo.0 == hi.0 || l <= lo.0 {
+            return Dbm(lo.1);
+        }
+        if l >= hi.0 {
+            return Dbm(hi.1);
+        }
+        let t = (l - lo.0) as f64 / (hi.0 - lo.0) as f64;
+        Dbm(lo.1 + t * (hi.1 - lo.1))
+    }
+}
+
+impl Default for PowerLevel {
+    fn default() -> Self {
+        PowerLevel::MAX
+    }
+}
+
+impl fmt::Display for PowerLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_points_exact() {
+        for &(level, dbm) in &CALIBRATION {
+            let p = PowerLevel::new(level).unwrap();
+            assert!((p.dbm().0 - dbm).abs() < 1e-12, "level {level}");
+        }
+    }
+
+    #[test]
+    fn range_matches_paper() {
+        // "programmed output power ranging from -25dBm to 0dBm"
+        assert_eq!(PowerLevel::MIN.dbm().0, -25.0);
+        assert_eq!(PowerLevel::MAX.dbm().0, 0.0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(PowerLevel::new(32).is_none());
+        assert!(PowerLevel::new(255).is_none());
+        // Sub-minimum values clamp up.
+        assert_eq!(PowerLevel::new(0).unwrap().level(), 3);
+        assert_eq!(PowerLevel::new(2).unwrap().level(), 3);
+    }
+
+    #[test]
+    fn interpolation_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for l in 3..=31u8 {
+            let d = PowerLevel::new(l).unwrap().dbm().0;
+            assert!(d >= prev, "level {l}: {d} < {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn figure6_levels() {
+        // Fig. 6 compares power levels 10 and 25. Level 25 must radiate
+        // substantially more than level 10 for the figure's separation.
+        let p10 = PowerLevel::new(10).unwrap().dbm().0;
+        let p25 = PowerLevel::new(25).unwrap().dbm().0;
+        assert!(p25 - p10 >= 5.0, "p10 = {p10}, p25 = {p25}");
+        // Level 10 sits between the 7 (-15 dBm) and 11 (-10 dBm) points.
+        assert!(p10 > -15.0 && p10 < -10.0);
+        // Level 25 sits between the 23 (-3 dBm) and 27 (-1 dBm) points.
+        assert!(p25 > -3.0 && p25 < -1.0);
+    }
+
+    #[test]
+    fn default_is_max() {
+        assert_eq!(PowerLevel::default(), PowerLevel::MAX);
+        assert_eq!(format!("{}", PowerLevel::MAX), "31");
+    }
+}

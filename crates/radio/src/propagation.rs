@@ -1,0 +1,213 @@
+//! Log-distance path loss with per-directed-link shadowing.
+//!
+//! The EnviroMic deployment experience that motivates LiteView found that
+//! "the distance between nodes and their antenna directions considerably
+//! affected the communication layer performance". We reproduce that
+//! environment with the log-normal shadowing model used throughout the
+//! low-power-link literature (Zuniga & Krishnamachari, "Analyzing the
+//! transitional region in low power wireless links", SECON 2004):
+//!
+//! ```text
+//! PL(d) = PL(d0) + 10·n·log10(d/d0) + X_link        [dB]
+//! ```
+//!
+//! where `X_link` is a zero-mean Gaussian offset *frozen per directed
+//! link*. Freezing (rather than redrawing per packet) models antenna
+//! orientation, enclosures, and multipath at fixed node positions — and
+//! because the draw differs for (a→b) and (b→a), the model naturally
+//! produces the **asymmetric links** the toolkit's blacklist and
+//! per-direction RSSI reporting are designed to expose. Fast fading on
+//! top of the frozen mean is modeled as a small per-packet Gaussian.
+
+use crate::units::{Dbm, Meters};
+use lv_sim::rng::derive_seed;
+use lv_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the log-distance model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PropagationConfig {
+    /// Path-loss exponent `n`. ~2 free space, 2.5–4 indoors.
+    pub exponent: f64,
+    /// Path loss at the reference distance, dB.
+    pub pl_d0_db: f64,
+    /// Reference distance, meters.
+    pub d0: Meters,
+    /// Standard deviation of the frozen per-link shadowing, dB.
+    pub shadow_sigma_db: f64,
+    /// Standard deviation of per-packet fast fading, dB.
+    pub fading_sigma_db: f64,
+}
+
+impl Default for PropagationConfig {
+    /// Indoor office-like defaults from the SECON'04 measurement campaign
+    /// on CC1000/CC2420-class radios.
+    fn default() -> Self {
+        PropagationConfig {
+            exponent: 3.0,
+            pl_d0_db: 55.0,
+            d0: Meters(1.0),
+            shadow_sigma_db: 3.8,
+            fading_sigma_db: 1.0,
+        }
+    }
+}
+
+/// The deterministic propagation model.
+///
+/// All randomness is derived from `seed`, so a topology's link qualities
+/// are a pure function of `(seed, positions, config)`.
+#[derive(Debug, Clone)]
+pub struct LogDistance {
+    config: PropagationConfig,
+    seed: u64,
+}
+
+impl LogDistance {
+    /// Build the model for an experiment seed.
+    pub fn new(config: PropagationConfig, seed: u64) -> Self {
+        LogDistance { config, seed }
+    }
+
+    /// Model parameters.
+    pub fn config(&self) -> &PropagationConfig {
+        &self.config
+    }
+
+    /// Deterministic mean path loss for the directed link `a → b` over
+    /// distance `d` (distance term plus the frozen shadowing draw).
+    pub fn mean_path_loss_db(&self, a: u16, b: u16, d: Meters) -> f64 {
+        let dist = d.0.max(self.config.d0.0 * 0.1); // never below 0.1·d0
+        let distance_term = self.config.pl_d0_db
+            + 10.0 * self.config.exponent * (dist / self.config.d0.0).log10();
+        distance_term + self.link_shadowing_db(a, b)
+    }
+
+    /// The frozen shadowing offset for the directed link `a → b`, in dB.
+    pub fn link_shadowing_db(&self, a: u16, b: u16) -> f64 {
+        let label = 0x5348_4144_0000_0000 | ((a as u64) << 16) | b as u64;
+        let mut rng = SimRng::from_seed_u64(derive_seed(self.seed, label));
+        rng.normal(0.0, self.config.shadow_sigma_db)
+    }
+
+    /// Received power for a transmission at `tx_dbm` over the directed
+    /// link `a → b` at distance `d`, with one fast-fading draw taken from
+    /// `fading_rng` (pass a per-receiver stream).
+    pub fn received_power(
+        &self,
+        tx_dbm: Dbm,
+        a: u16,
+        b: u16,
+        d: Meters,
+        fading_rng: &mut SimRng,
+    ) -> Dbm {
+        let pl = self.mean_path_loss_db(a, b, d);
+        let fading = if self.config.fading_sigma_db > 0.0 {
+            fading_rng.normal(0.0, self.config.fading_sigma_db)
+        } else {
+            0.0
+        };
+        tx_dbm - pl + fading
+    }
+
+    /// Received power without fading (the expected value) — used for
+    /// connectivity planning in topology generators.
+    pub fn mean_received_power(&self, tx_dbm: Dbm, a: u16, b: u16, d: Meters) -> Dbm {
+        tx_dbm - self.mean_path_loss_db(a, b, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(seed: u64) -> LogDistance {
+        LogDistance::new(PropagationConfig::default(), seed)
+    }
+
+    #[test]
+    fn loss_grows_with_distance() {
+        let m = model(1);
+        let near = m.mean_path_loss_db(1, 2, Meters(1.0));
+        let mid = m.mean_path_loss_db(1, 2, Meters(10.0));
+        let far = m.mean_path_loss_db(1, 2, Meters(100.0));
+        assert!(near < mid && mid < far);
+        // 10x distance at n=3 adds 30 dB.
+        assert!((mid - near - 30.0).abs() < 1e-9);
+        assert!((far - mid - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadowing_frozen_per_link() {
+        let m = model(7);
+        let s1 = m.link_shadowing_db(3, 4);
+        let s2 = m.link_shadowing_db(3, 4);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn shadowing_is_directional() {
+        // The (a→b) and (b→a) draws differ: links are asymmetric, which
+        // is exactly what LiteView's per-direction reporting diagnoses.
+        let m = model(7);
+        let fwd = m.link_shadowing_db(3, 4);
+        let rev = m.link_shadowing_db(4, 3);
+        assert_ne!(fwd, rev);
+    }
+
+    #[test]
+    fn shadowing_depends_on_seed() {
+        assert_ne!(
+            model(1).link_shadowing_db(1, 2),
+            model(2).link_shadowing_db(1, 2)
+        );
+    }
+
+    #[test]
+    fn shadowing_statistics() {
+        let m = model(99);
+        let n = 2000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for a in 0..n as u16 {
+            let s = m.link_shadowing_db(a, a + 1);
+            sum += s;
+            sumsq += s * s;
+        }
+        let mean = sum / n as f64;
+        let sd = (sumsq / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.4, "mean = {mean}");
+        assert!((sd - 3.8).abs() < 0.4, "sd = {sd}");
+    }
+
+    #[test]
+    fn received_power_reasonable() {
+        // 0 dBm at 10 m indoors: around -85 dBm mean ± shadowing; must be
+        // comfortably above a -95 dBm sensitivity at small distance.
+        let m = model(3);
+        let p = m.mean_received_power(Dbm(0.0), 1, 2, Meters(5.0));
+        assert!(p.0 > -90.0 && p.0 < -50.0, "p = {}", p.0);
+    }
+
+    #[test]
+    fn fading_perturbs_but_tracks_mean() {
+        let m = model(3);
+        let mut rng = SimRng::stream(3, 0xFAD);
+        let mean = m.mean_received_power(Dbm(0.0), 1, 2, Meters(5.0));
+        let mut acc = 0.0;
+        let n = 5000;
+        for _ in 0..n {
+            acc += m.received_power(Dbm(0.0), 1, 2, Meters(5.0), &mut rng).0;
+        }
+        let avg = acc / n as f64;
+        assert!((avg - mean.0).abs() < 0.15, "avg {avg} vs mean {}", mean.0);
+    }
+
+    #[test]
+    fn tiny_distance_clamped() {
+        let m = model(3);
+        // Zero distance must not produce -inf.
+        let pl = m.mean_path_loss_db(1, 2, Meters(0.0));
+        assert!(pl.is_finite());
+    }
+}

@@ -1,0 +1,74 @@
+//! CC2420 RSSI register semantics.
+//!
+//! Section III.B.3 of the paper: "a RSSI reading of −20 indicates … a RF
+//! power level of approximately −65 dBm", i.e. the register value is the
+//! received power in dBm plus a +45 dB offset, averaged over eight symbol
+//! periods (128 µs). The register is a signed 8-bit value; we clamp to
+//! the CC2420's usable dynamic range (roughly −50…+30 register units,
+//! corresponding to −95…−15 dBm at the antenna).
+
+use crate::units::Dbm;
+
+/// The CC2420 RSSI offset: `register = power_dbm + 45`.
+pub const RSSI_OFFSET_DB: f64 = 45.0;
+
+/// Lowest register value the radio reports (≈ sensitivity floor).
+pub const RSSI_REGISTER_MIN: i8 = -50;
+/// Highest register value the radio reports (saturation).
+pub const RSSI_REGISTER_MAX: i8 = 30;
+
+/// Convert a received power into the signed 8-bit RSSI register value
+/// the LiteView ping/traceroute output prints.
+pub fn rssi_register(power: Dbm) -> i8 {
+    let raw = (power.0 + RSSI_OFFSET_DB).round();
+    raw.clamp(RSSI_REGISTER_MIN as f64, RSSI_REGISTER_MAX as f64) as i8
+}
+
+/// Invert the register mapping back to an approximate power in dBm.
+pub fn rssi_to_power_dbm(register: i8) -> Dbm {
+    Dbm(register as f64 - RSSI_OFFSET_DB)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        // "a RSSI reading of -20 indicates ... approximately -65dBm"
+        assert_eq!(rssi_register(Dbm(-65.0)), -20);
+        assert_eq!(rssi_to_power_dbm(-20).0, -65.0);
+    }
+
+    #[test]
+    fn round_trip_within_range() {
+        for reg in RSSI_REGISTER_MIN..=RSSI_REGISTER_MAX {
+            assert_eq!(rssi_register(rssi_to_power_dbm(reg)), reg);
+        }
+    }
+
+    #[test]
+    fn clamps_at_extremes() {
+        assert_eq!(rssi_register(Dbm(-120.0)), RSSI_REGISTER_MIN);
+        assert_eq!(rssi_register(Dbm(10.0)), RSSI_REGISTER_MAX);
+    }
+
+    #[test]
+    fn monotone() {
+        let mut prev = i8::MIN;
+        for p in -120..=10 {
+            let r = rssi_register(Dbm(p as f64));
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn strong_links_read_near_zero() {
+        // The paper's one-hop sample outputs show RSSI values like -1, 1,
+        // 8 for motes close together; a -40 dBm signal maps into that
+        // neighbourhood.
+        let r = rssi_register(Dbm(-44.0));
+        assert!((-5..=5).contains(&(r as i32)), "r = {r}");
+    }
+}

@@ -1,0 +1,308 @@
+//! Lightweight metric primitives used by every layer.
+//!
+//! The evaluation reproduces packet *counts* (Fig. 7, one-hop ping
+//! overhead) and *delay distributions* (Fig. 5, the 500 ms response
+//! window), so the engine provides named counters, a fixed-bucket
+//! histogram, and a raw time series for per-hop traces.
+
+use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A registry of named monotonically increasing counters.
+///
+/// `BTreeMap` keeps iteration order deterministic so serialized metric
+/// dumps diff cleanly between runs.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.values.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increment counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.values
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Iterate `(name, value)` pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Reset every counter to zero (the map keys persist).
+    pub fn reset(&mut self) {
+        for v in self.values.values_mut() {
+            *v = 0;
+        }
+    }
+
+    /// Merge another registry into this one by summing.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+/// A histogram over durations with fixed-width buckets.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    bucket_width: SimDuration,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum_ns: u128,
+    min: Option<SimDuration>,
+    max: Option<SimDuration>,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` buckets of width `bucket_width`;
+    /// samples beyond the last bucket land in an overflow bin.
+    pub fn new(bucket_width: SimDuration, buckets: usize) -> Self {
+        assert!(!bucket_width.is_zero(), "bucket width must be nonzero");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum_ns: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Record one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let idx = (d.as_nanos() / self.bucket_width.as_nanos()) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum_ns += d.as_nanos() as u128;
+        self.min = Some(self.min.map_or(d, |m| m.min(d)));
+        self.max = Some(self.max.map_or(d, |m| m.max(d)));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Smallest sample seen.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.min
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.max
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) from bucket boundaries.
+    /// Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(self.bucket_width.saturating_mul(i as u64 + 1));
+            }
+        }
+        // Landed in overflow: report the observed maximum.
+        self.max
+    }
+
+    /// Samples that exceeded the bucketed range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+/// A `(time, value)` series; used for per-hop delay plots such as Fig. 5.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Create an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point. Points are expected in nondecreasing time order;
+    /// this is asserted in debug builds.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(lt, _)| lt <= t),
+            "time series must be appended in order"
+        );
+        self.points.push((t, v));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Final value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_basics() {
+        let mut c = Counters::new();
+        c.incr("tx.data");
+        c.add("tx.data", 2);
+        c.incr("tx.ack");
+        assert_eq!(c.get("tx.data"), 3);
+        assert_eq!(c.get("tx.ack"), 1);
+        assert_eq!(c.get("rx.none"), 0);
+        assert_eq!(c.sum_prefix("tx."), 4);
+    }
+
+    #[test]
+    fn counters_merge_and_reset() {
+        let mut a = Counters::new();
+        a.add("x", 5);
+        let mut b = Counters::new();
+        b.add("x", 2);
+        b.add("y", 1);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 7);
+        assert_eq!(a.get("y"), 1);
+        a.reset();
+        assert_eq!(a.get("x"), 0);
+        assert_eq!(a.sum_prefix(""), 0);
+    }
+
+    #[test]
+    fn counters_iterate_sorted() {
+        let mut c = Counters::new();
+        c.incr("b");
+        c.incr("a");
+        c.incr("c");
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn histogram_mean_min_max() {
+        let mut h = Histogram::new(SimDuration::from_millis(1), 10);
+        h.record(SimDuration::from_millis(2));
+        h.record(SimDuration::from_millis(4));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), SimDuration::from_millis(3));
+        assert_eq!(h.min(), Some(SimDuration::from_millis(2)));
+        assert_eq!(h.max(), Some(SimDuration::from_millis(4)));
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(SimDuration::from_millis(1), 100);
+        for ms in 1..=100u64 {
+            h.record(SimDuration::from_micros(ms * 1000 - 500));
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(
+            (49..=51).contains(&p50.as_millis()),
+            "p50 = {}",
+            p50.as_millis()
+        );
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99.as_millis() >= 98, "p99 = {}", p99.as_millis());
+        assert!(h.quantile(0.0).is_some());
+    }
+
+    #[test]
+    fn histogram_overflow() {
+        let mut h = Histogram::new(SimDuration::from_millis(1), 2);
+        h.record(SimDuration::from_millis(10));
+        assert_eq!(h.overflow(), 1);
+        // Quantile falls back to the max when everything overflowed.
+        assert_eq!(h.quantile(0.5), Some(SimDuration::from_millis(10)));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(SimDuration::from_millis(1), 4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn time_series() {
+        let mut s = TimeSeries::new();
+        assert!(s.is_empty());
+        s.push(SimTime::from_millis(1), 1.0);
+        s.push(SimTime::from_millis(2), -3.5);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last_value(), Some(-3.5));
+        assert_eq!(s.points()[0], (SimTime::from_millis(1), 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_zero_width_panics() {
+        let _ = Histogram::new(SimDuration::ZERO, 4);
+    }
+}

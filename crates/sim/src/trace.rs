@@ -1,0 +1,176 @@
+//! Bounded in-memory event tracing.
+//!
+//! LiteOS offers "on-demand logging of internal events"; the simulator's
+//! equivalent is a ring buffer of trace records that examples and tests
+//! can inspect after a run. Tracing is level-gated so that hot paths pay
+//! one branch when disabled.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Severity / verbosity of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Always-interesting events (command issued, command completed).
+    Info,
+    /// Per-packet events (transmission start, reception, drop).
+    Packet,
+    /// Internal state-machine detail (backoff draws, CCA results).
+    Debug,
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Virtual time the event occurred.
+    pub at: SimTime,
+    /// Node the event is attributed to (`u16::MAX` = the workstation /
+    /// no specific node).
+    pub node: u16,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} n{}] {}", self.at, self.node, self.message)
+    }
+}
+
+/// A bounded trace sink.
+pub struct Trace {
+    level: Option<TraceLevel>,
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Node id used for events not attributable to a sensor node.
+    pub const NO_NODE: u16 = u16::MAX;
+
+    /// A disabled trace (records nothing, costs one branch per call).
+    pub fn disabled() -> Self {
+        Trace {
+            level: None,
+            capacity: 0,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// A trace capturing events up to `level`, keeping at most `capacity`
+    /// records (oldest dropped first).
+    pub fn enabled(level: TraceLevel, capacity: usize) -> Self {
+        Trace {
+            level: Some(level),
+            capacity: capacity.max(1),
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// True if records at `level` would be kept.
+    pub fn accepts(&self, level: TraceLevel) -> bool {
+        self.level.is_some_and(|max| level <= max)
+    }
+
+    /// Record an event (no-op if the level is filtered out).
+    pub fn emit(&mut self, at: SimTime, node: u16, level: TraceLevel, message: impl Into<String>) {
+        if !self.accepts(level) {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(TraceEvent {
+            at,
+            node,
+            level,
+            message: message.into(),
+        });
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events whose message contains `needle`.
+    pub fn find(&self, needle: &str) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.message.contains(needle))
+            .collect()
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.emit(SimTime::ZERO, 1, TraceLevel::Info, "hello");
+        assert!(t.events().is_empty());
+        assert!(!t.accepts(TraceLevel::Info));
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut t = Trace::enabled(TraceLevel::Packet, 16);
+        t.emit(SimTime::ZERO, 1, TraceLevel::Info, "info");
+        t.emit(SimTime::ZERO, 1, TraceLevel::Packet, "pkt");
+        t.emit(SimTime::ZERO, 1, TraceLevel::Debug, "dbg");
+        let msgs: Vec<&str> = t.events().iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["info", "pkt"]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::enabled(TraceLevel::Debug, 3);
+        for i in 0..5 {
+            t.emit(SimTime::from_nanos(i), 0, TraceLevel::Info, format!("e{i}"));
+        }
+        let msgs: Vec<&str> = t.events().iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn find_matches_substring() {
+        let mut t = Trace::enabled(TraceLevel::Debug, 16);
+        t.emit(SimTime::ZERO, 3, TraceLevel::Packet, "tx seq=4");
+        t.emit(SimTime::ZERO, 3, TraceLevel::Packet, "rx seq=4");
+        t.emit(SimTime::ZERO, 3, TraceLevel::Packet, "drop crc");
+        assert_eq!(t.find("seq=4").len(), 2);
+        assert_eq!(t.find("drop").len(), 1);
+        assert_eq!(t.find("nothing").len(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(1),
+            node: 7,
+            level: TraceLevel::Info,
+            message: "boot".into(),
+        };
+        assert_eq!(format!("{e}"), "[1.000ms n7] boot");
+    }
+}

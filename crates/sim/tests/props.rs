@@ -1,0 +1,84 @@
+//! Property tests for the simulation engine's core data structures.
+
+use lv_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue is a total order: pops come out sorted by time,
+    /// and FIFO within equal times, for any push sequence.
+    #[test]
+    fn event_queue_global_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(SimTime, usize)> = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let at = SimTime::from_nanos(t);
+            q.push(at, i);
+            expected.push((at, i));
+        }
+        expected.sort_by_key(|&(t, i)| (t, i)); // stable == (time, push order)
+        let got: Vec<(SimTime, usize)> = std::iter::from_fn(|| q.pop()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Histogram conserves the sample count and brackets every sample
+    /// between min and max.
+    #[test]
+    fn histogram_conservation(samples in proptest::collection::vec(0u64..10_000_000, 1..300)) {
+        let mut h = Histogram::new(SimDuration::from_micros(100), 64);
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert_eq!(h.min().unwrap().as_nanos(), min);
+        prop_assert_eq!(h.max().unwrap().as_nanos(), max);
+        let mean = h.mean().as_nanos();
+        prop_assert!(mean >= min && mean <= max);
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn histogram_quantile_monotone(samples in proptest::collection::vec(0u64..6_000_000, 1..200)) {
+        let mut h = Histogram::new(SimDuration::from_micros(100), 64);
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        let mut last = SimDuration::ZERO;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= last, "quantile({q}) regressed");
+            last = v;
+        }
+    }
+
+    /// Uniform draws respect their bounds for any seed and bound.
+    #[test]
+    fn rng_below_bound(seed in any::<u64>(), label in any::<u64>(), n in 1u64..1_000_000) {
+        let mut r = SimRng::stream(seed, label);
+        for _ in 0..64 {
+            prop_assert!(r.below(n) < n);
+        }
+    }
+
+    /// Identical (seed, label) pairs give identical streams; the draw
+    /// sequence is a pure function of them.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>(), label in any::<u64>()) {
+        let mut a = SimRng::stream(seed, label);
+        let mut b = SimRng::stream(seed, label);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Time arithmetic: (t + d) - t == d and ordering is consistent.
+    #[test]
+    fn time_arithmetic(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert!(time + dur >= time);
+        prop_assert_eq!(time.saturating_since(time + dur), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # lv-testbed — topologies, scenarios, failures, experiment drivers
+//!
+//! The paper's evaluation ran on "a testbed composed of thirty MicaZ
+//! nodes" with "a testbed of eight hops in diameter". This crate builds
+//! the simulated equivalents:
+//!
+//! * [`topology`] — deterministic generators: line, grid, random disk,
+//!   and the *corridor* layout (adjacent line-of-sight only) that pins
+//!   an exact hop count the way the authors' 8-hop corridor deployment
+//!   did.
+//! * [`scenario`] — one-call construction of a ready network: topology +
+//!   routers + LiteView suite + workstation + beacon warm-up.
+//! * [`failures`] — deployment-phase failure injection: dead nodes,
+//!   broken and asymmetric links, attenuation, node moves.
+//! * [`experiments`] — the drivers that regenerate every figure and
+//!   in-text number of Section V (see `DESIGN.md` §4 for the index).
+//! * [`results`] — serializable row types the `figures` harness prints.
+//! * [`map`] — ASCII deployment maps for the interactive shell.
+
+pub mod experiments;
+pub mod failures;
+pub mod map;
+pub mod results;
+pub mod scenario;
+pub mod topology;
+
+pub use scenario::{Scenario, ScenarioConfig};
+pub use topology::Topology;

@@ -1,0 +1,173 @@
+//! Serializable result rows — one type per table/figure of the paper.
+//!
+//! The `figures` harness (in `lv-bench`) prints these as aligned text
+//! and as JSON, so `EXPERIMENTS.md` can quote regenerated numbers
+//! verbatim.
+
+use serde::Serialize;
+
+/// Fig. 5 — traceroute response delay per hop.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Row {
+    /// 1-based hop index along the 8-hop path.
+    pub hop: u8,
+    /// Time the hop's report reached the workstation, ms from issue.
+    pub delay_ms: f64,
+}
+
+/// Fig. 6 — per-hop RSSI readings at two power levels, both directions.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Row {
+    /// 1-based hop index.
+    pub hop: u8,
+    /// Forward-link RSSI at power level 10.
+    pub fwd_p10: i8,
+    /// Backward-link RSSI at power level 10.
+    pub bwd_p10: i8,
+    /// Forward-link RSSI at power level 25.
+    pub fwd_p25: i8,
+    /// Backward-link RSSI at power level 25.
+    pub bwd_p25: i8,
+}
+
+/// Fig. 7 — traceroute command overhead vs path length.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Row {
+    /// Path length in hops.
+    pub hops: u8,
+    /// Control (data-plane) packets transmitted by the command.
+    pub control_packets: u64,
+    /// Link-layer acknowledgements on top.
+    pub acks: u64,
+}
+
+/// T-resp — response delay of the fixed-window commands.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrespRow {
+    /// Command name.
+    pub command: String,
+    /// Trials run.
+    pub trials: u32,
+    /// Mean reported response delay, ms.
+    pub mean_ms: f64,
+    /// Minimum, ms.
+    pub min_ms: f64,
+    /// Maximum, ms.
+    pub max_ms: f64,
+    /// Trials that produced a non-timeout result.
+    pub answered: u32,
+}
+
+/// T-ping — the sample single-hop ping of Section III.B.3.
+#[derive(Debug, Clone, Serialize)]
+pub struct TpingRow {
+    /// Round-trip time, ms.
+    pub rtt_ms: f64,
+    /// LQI forward/backward.
+    pub lqi_fwd: u8,
+    /// LQI backward.
+    pub lqi_bwd: u8,
+    /// RSSI forward/backward.
+    pub rssi_fwd: i8,
+    /// RSSI backward.
+    pub rssi_bwd: i8,
+    /// Queue occupancy forward/backward.
+    pub queue_fwd: u8,
+    /// Queue backward.
+    pub queue_bwd: u8,
+    /// Power level at the prober.
+    pub power: u8,
+    /// Channel at the prober.
+    pub channel: u8,
+}
+
+/// T-pad — the link-quality padding budget.
+#[derive(Debug, Clone, Serialize)]
+pub struct TpadRow {
+    /// Probe payload bytes.
+    pub probe_payload: usize,
+    /// Padding bytes per hop.
+    pub bytes_per_hop: usize,
+    /// Analytic maximum hops before padding exhausts.
+    pub analytic_max_hops: usize,
+    /// Hops the path actually had.
+    pub path_hops: usize,
+    /// Hop-quality entries observed at the prober.
+    pub observed_entries: usize,
+}
+
+/// T-foot — command image footprints.
+#[derive(Debug, Clone, Serialize)]
+pub struct TfootRow {
+    /// Component name.
+    pub component: String,
+    /// Flash bytes.
+    pub flash_bytes: u32,
+    /// Static RAM bytes.
+    pub ram_bytes: u32,
+}
+
+/// T-ovh1 — one-hop command overhead.
+#[derive(Debug, Clone, Serialize)]
+pub struct TovhRow {
+    /// Command name.
+    pub command: String,
+    /// Data packets on the air.
+    pub data_packets: u64,
+    /// Link-layer acks on top.
+    pub acks: u64,
+}
+
+/// Generic ablation row: `(arm, metric, value)`.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Which design variant.
+    pub arm: String,
+    /// What was measured.
+    pub metric: String,
+    /// The measurement.
+    pub value: f64,
+}
+
+/// Pretty-print any serializable row set as indented JSON lines.
+pub fn to_json_lines<T: Serialize>(rows: &[T]) -> String {
+    rows.iter()
+        .map(|r| serde_json::to_string(r).expect("rows serialize"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_serialize() {
+        let rows = vec![
+            Fig5Row {
+                hop: 1,
+                delay_ms: 312.0,
+            },
+            Fig5Row {
+                hop: 2,
+                delay_ms: 711.5,
+            },
+        ];
+        let s = to_json_lines(&rows);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("\"hop\":1"));
+    }
+}
+
+/// Substrate validation — one distance point of the link characterization.
+#[derive(Debug, Clone, Serialize)]
+pub struct LinkCharRow {
+    /// Transmitter–receiver distance, meters.
+    pub distance_m: f64,
+    /// Packet reception ratio over the trial batch.
+    pub prr: f64,
+    /// Mean RSSI register value of received frames.
+    pub mean_rssi: f64,
+    /// Mean LQI of received frames.
+    pub mean_lqi: f64,
+}

@@ -1,0 +1,93 @@
+//! A scripted interactive shell session, paper-style.
+//!
+//! ```text
+//! cargo run --example interactive_session --release
+//! ```
+//!
+//! Replays the shell interactions Section III.B demonstrates — `pwd`,
+//! one-hop `ping`, multi-hop `traceroute … port=10`, the neighborhood
+//! management commands (`list`, `blacklist`, `update`), and the radio
+//! configuration utilities — printing output in the paper's format.
+
+use liteview_repro::liteview::Command;
+use liteview_repro::lv_net::packet::Port;
+use liteview_repro::lv_sim::SimDuration;
+use liteview_repro::lv_testbed::{Scenario, ScenarioConfig, Topology};
+
+fn main() {
+    let mut s = Scenario::build(ScenarioConfig::new(Topology::eight_hop_corridor(), 42));
+    let ws = &mut s.ws;
+    let net = &mut s.net;
+
+    ws.cd(net, "192.168.0.1").unwrap();
+    println!("$pwd");
+    println!("{}", ws.pwd(net).unwrap());
+
+    println!("\n$ping 192.168.0.2 round=1 length=32");
+    ws.clear_transcript();
+    ws.ping(net, 1, 1, 32, None).unwrap();
+    for l in ws.transcript() {
+        println!("{l}");
+    }
+
+    println!("\n$traceroute 192.168.0.4 round=1 length=32 port=10");
+    ws.clear_transcript();
+    ws.traceroute(net, 3, 32, Port::GEOGRAPHIC).unwrap();
+    for l in ws.transcript() {
+        println!("{l}");
+    }
+
+    println!("\n$neighborsetup");
+    println!("$list quality");
+    ws.clear_transcript();
+    ws.neighbor_list(net, true).unwrap();
+    for l in ws.transcript() {
+        println!("{l}");
+    }
+
+    println!("\n$blacklist add 192.168.0.2");
+    ws.clear_transcript();
+    ws.blacklist(net, 1, true).unwrap();
+    for l in ws.transcript() {
+        println!("{l}");
+    }
+    println!("$blacklist remove 192.168.0.2");
+    ws.clear_transcript();
+    ws.blacklist(net, 1, false).unwrap();
+    for l in ws.transcript() {
+        println!("{l}");
+    }
+
+    println!("\n$update beaconperiod=1000ms");
+    ws.clear_transcript();
+    ws.update_beacon(net, SimDuration::from_millis(1000)).unwrap();
+    for l in ws.transcript() {
+        println!("{l}");
+    }
+
+    println!("\n$getpower");
+    ws.clear_transcript();
+    ws.get_power(net).unwrap();
+    for l in ws.transcript() {
+        println!("{l}");
+    }
+    println!("$setpower 25");
+    ws.clear_transcript();
+    ws.set_power(net, 25).unwrap();
+    for l in ws.transcript() {
+        println!("{l}");
+    }
+    println!("$getchannel");
+    ws.clear_transcript();
+    ws.get_channel(net).unwrap();
+    for l in ws.transcript() {
+        println!("{l}");
+    }
+
+    println!("\n$status");
+    ws.clear_transcript();
+    ws.exec(net, Command::Status).unwrap();
+    for l in ws.transcript() {
+        println!("{l}");
+    }
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the LiteView reproduction.
+//!
+//! Re-exports every workspace crate so examples and integration tests can
+//! use one dependency. See the README for the layer map.
+
+pub use liteview;
+pub use lv_kernel;
+pub use lv_mac;
+pub use lv_net;
+pub use lv_radio;
+pub use lv_sim;
+pub use lv_testbed;
