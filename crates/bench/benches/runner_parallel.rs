@@ -1,0 +1,33 @@
+//! Bench for the multi-trial engine — parallel speedup over serial.
+//!
+//! Runs the same 16-trial Fig. 5 aggregate on worker pools of 1, 2 and
+//! 4 threads. Results are bit-identical across pool sizes (asserted in
+//! `crates/testbed/tests/runner.rs`); only wall-clock changes, which is
+//! what this bench demonstrates on multi-core hosts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lv_testbed::TrialRunner;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("runner_parallel: {cpus} CPU(s) available");
+    let mut g = c.benchmark_group("runner");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("fig5agg_16trials", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let runner = TrialRunner::new(black_box(42), 16).workers(workers);
+                    black_box(lv_testbed::experiments::fig5_traceroute_delay_agg(&runner))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

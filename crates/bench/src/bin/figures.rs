@@ -4,24 +4,45 @@
 //! cargo run -p lv-bench --bin figures --release -- all
 //! cargo run -p lv-bench --bin figures --release -- fig5 --seed 7
 //! cargo run -p lv-bench --bin figures --release -- fig7 --json
+//! cargo run -p lv-bench --bin figures --release -- fig5agg --trials 32 --workers 4
 //! ```
 //!
 //! Experiment ids follow `DESIGN.md` §4: fig5, fig6, fig7, tresp,
-//! tping, tpad, tfoot, tovh1, plus `ablations` for §5.
+//! tping, tpad, tfoot, tovh1, plus `ablations` for §5. Each figure
+//! also has a multi-trial aggregate variant (`fig5agg`, `fig6agg`,
+//! `fig7agg`, `linkcharagg`) reporting mean ± 95% CI over `--trials`
+//! independent trials run on `--workers` threads, plus `failures` for
+//! the failure-injection sweep.
 
 use lv_bench::{table, Line};
 use lv_testbed::experiments as exp;
 use lv_testbed::results::to_json_lines;
+use lv_testbed::{AggregateStats, TrialRunner};
 
 struct Args {
     what: Vec<String>,
     seed: u64,
+    trials: usize,
+    workers: Option<usize>,
     json: bool,
+}
+
+impl Args {
+    /// The trial runner every aggregate experiment shares.
+    fn runner(&self) -> TrialRunner {
+        let r = TrialRunner::new(self.seed, self.trials);
+        match self.workers {
+            Some(w) => r.workers(w),
+            None => r,
+        }
+    }
 }
 
 fn parse_args() -> Args {
     let mut what = Vec::new();
     let mut seed = 42u64;
+    let mut trials = 8usize;
+    let mut workers = None;
     let mut json = false;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -32,6 +53,19 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed <u64>");
             }
+            "--trials" => {
+                trials = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--trials <n>");
+            }
+            "--workers" => {
+                workers = Some(
+                    argv.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--workers <n>"),
+                );
+            }
             "--json" => json = true,
             other => what.push(other.to_owned()),
         }
@@ -39,13 +73,19 @@ fn parse_args() -> Args {
     if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
             "fig5", "fig6", "fig7", "tresp", "tping", "tpad", "tfoot", "tovh1", "linkchar",
-            "ablations",
+            "ablations", "fig5agg", "fig6agg", "fig7agg", "linkcharagg", "failures",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
-    Args { what, seed, json }
+    Args {
+        what,
+        seed,
+        trials,
+        workers,
+        json,
+    }
 }
 
 fn main() {
@@ -62,6 +102,11 @@ fn main() {
             "tovh1" => tovh1(args.seed, args.json),
             "linkchar" => linkchar(args.seed, args.json),
             "ablations" => ablations(args.seed, args.json),
+            "fig5agg" => fig5agg(&args),
+            "fig6agg" => fig6agg(&args),
+            "fig7agg" => fig7agg(&args),
+            "linkcharagg" => linkcharagg(&args),
+            "failures" => failures(&args),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -261,6 +306,169 @@ fn linkchar(seed: u64, json: bool) {
         table(
             "Link characterization — PRR / RSSI / LQI vs distance (substrate validation)",
             "  d[m]     PRR       RSSI       LQI",
+            &lines
+        )
+    );
+}
+
+/// Render an aggregate as `mean ± ci95`.
+fn pm(s: &AggregateStats) -> String {
+    format!("{:.1} ±{:.1}", s.mean, s.ci95)
+}
+
+fn fig5agg(args: &Args) {
+    let runner = args.runner();
+    let rows = exp::fig5_traceroute_delay_agg(&runner);
+    if args.json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| {
+            Line(format!(
+                "{:>3}   {:>6}   {:>16}",
+                r.hop,
+                r.delay_ms.n,
+                pm(&r.delay_ms)
+            ))
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &format!(
+                "Fig. 5 (aggregate) — traceroute delay per hop, {} trials",
+                runner.trials()
+            ),
+            "hop        n       delay [ms]",
+            &lines
+        )
+    );
+}
+
+fn fig6agg(args: &Args) {
+    let runner = args.runner();
+    let rows = exp::fig6_rssi_vs_power_agg(&runner);
+    if args.json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| {
+            Line(format!(
+                "{:>3}   {:>13} {:>13}   {:>13} {:>13}",
+                r.hop,
+                pm(&r.fwd_p10),
+                pm(&r.bwd_p10),
+                pm(&r.fwd_p25),
+                pm(&r.bwd_p25)
+            ))
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &format!(
+                "Fig. 6 (aggregate) — per-hop RSSI, power 10 vs 25, {} trials",
+                runner.trials()
+            ),
+            "hop          fwd@10        bwd@10          fwd@25        bwd@25",
+            &lines
+        )
+    );
+}
+
+fn fig7agg(args: &Args) {
+    let runner = args.runner();
+    let rows = exp::fig7_overhead_agg(&runner);
+    if args.json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| {
+            Line(format!(
+                "{:>4}   {:>16} {:>14}",
+                r.hops,
+                pm(&r.control_packets),
+                pm(&r.acks)
+            ))
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &format!(
+                "Fig. 7 (aggregate) — traceroute overhead vs path length, {} trials",
+                runner.trials()
+            ),
+            "hops    control packets           acks",
+            &lines
+        )
+    );
+}
+
+fn linkcharagg(args: &Args) {
+    let runner = args.runner();
+    let rows = exp::characterize_links_agg(&runner);
+    if args.json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| {
+            Line(format!(
+                "{:>6.1}   {:>11}   {:>14}   {:>13}",
+                r.distance_m,
+                format!("{:.2} ±{:.2}", r.prr.mean, r.prr.ci95),
+                pm(&r.mean_rssi),
+                pm(&r.mean_lqi)
+            ))
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &format!(
+                "Link characterization (aggregate) — PRR / RSSI / LQI vs distance, {} trials",
+                runner.trials()
+            ),
+            "  d[m]           PRR             RSSI             LQI",
+            &lines
+        )
+    );
+}
+
+fn failures(args: &Args) {
+    let runner = args.runner();
+    let rows = exp::failure_sweep(&runner, &exp::default_failure_plans());
+    if args.json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .iter()
+        .map(|r| {
+            Line(format!(
+                "{:<24} {:>4}/{:<4} {:>12} {:>13} {:>16}",
+                r.mode,
+                r.faulted,
+                r.trials,
+                format!("{:.2} ±{:.2}", r.reached.mean, r.reached.ci95),
+                pm(&r.hops_covered),
+                pm(&r.last_report_ms)
+            ))
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            "Failure-injection sweep — traceroute diagnosis under faults (8-hop corridor)",
+            "mode                     faulted      reached   hops covered   last report[ms]",
             &lines
         )
     );

@@ -67,7 +67,9 @@ pub use commands::{
 pub use controller::RuntimeController;
 pub use ping::PingProcess;
 pub use traceroute::{TrHopProcess, TrSourceProcess};
-pub use workstation::{ShellError, Workstation};
+pub use workstation::{CommandRequest, ExecError, ExecTarget, Workstation};
+#[allow(deprecated)]
+pub use workstation::ShellError;
 
 use lv_kernel::Network;
 

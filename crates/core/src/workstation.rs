@@ -36,11 +36,178 @@ pub struct Workstation {
 
 /// Errors from the shell-like surface.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ShellError {
-    /// Unknown node name.
+pub enum ExecError {
+    /// Unknown node name (from [`Workstation::cd`]).
     NoSuchNode(String),
-    /// No `cd` has been performed yet.
+    /// The request targets the current node but no `cd` has been
+    /// performed yet.
     NoCwd,
+    /// The request targets a node id the network does not have.
+    UnknownNode(u16),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::NoSuchNode(name) => write!(f, "no such node: {name}"),
+            ExecError::NoCwd => write!(f, "no node selected (run `cd` first)"),
+            ExecError::UnknownNode(id) => write!(f, "unknown node id: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Former name of [`ExecError`].
+#[deprecated(note = "renamed to `ExecError`")]
+pub type ShellError = ExecError;
+
+/// Where a [`CommandRequest`] executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecTarget {
+    /// The node the shell last [`Workstation::cd`]-ed into.
+    #[default]
+    Cwd,
+    /// An explicit node id.
+    Node(u16),
+    /// All nodes in radio range of the bridge (the paper's group
+    /// operation, a single broadcast query).
+    Group,
+}
+
+/// A command plus where to run it — the one argument of
+/// [`Workstation::exec`].
+///
+/// Build one from a raw [`Command`] (defaults to the current node) or
+/// through the named constructors mirroring the paper's shell
+/// commands, then aim it with [`on`](CommandRequest::on) /
+/// [`group`](CommandRequest::group):
+///
+/// ```no_run
+/// # use liteview::{CommandRequest, Workstation};
+/// # use lv_net::packet::Port;
+/// # fn f(ws: &mut Workstation, net: &mut lv_kernel::Network) {
+/// ws.exec(net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+/// ws.exec(net, CommandRequest::get_power().on(3)).unwrap();
+/// ws.exec(net, CommandRequest::survey()).unwrap();
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandRequest {
+    command: Command,
+    target: ExecTarget,
+}
+
+impl CommandRequest {
+    /// A request running `command` on the current (`cd`) node.
+    pub fn new(command: Command) -> CommandRequest {
+        CommandRequest {
+            command,
+            target: ExecTarget::Cwd,
+        }
+    }
+
+    /// Aim the request at an explicit node id.
+    pub fn on(mut self, node: u16) -> CommandRequest {
+        self.target = ExecTarget::Node(node);
+        self
+    }
+
+    /// Aim the request at the broadcast group.
+    pub fn group(mut self) -> CommandRequest {
+        self.target = ExecTarget::Group;
+        self
+    }
+
+    /// Aim the request back at the current (`cd`) node.
+    pub fn at_cwd(mut self) -> CommandRequest {
+        self.target = ExecTarget::Cwd;
+        self
+    }
+
+    /// The command to run.
+    pub fn command(&self) -> &Command {
+        &self.command
+    }
+
+    /// Where the command runs.
+    pub fn target(&self) -> ExecTarget {
+        self.target
+    }
+
+    // ---- named constructors mirroring the paper's shell commands ----
+
+    /// `ping <dst> round=<rounds> length=<len> [port=<p>]`.
+    pub fn ping(dst: u16, rounds: u8, length: u8, port: Option<Port>) -> CommandRequest {
+        CommandRequest::new(Command::Ping {
+            dst,
+            rounds,
+            length,
+            port,
+        })
+    }
+
+    /// `traceroute <dst> length=<len> port=<p>`.
+    pub fn traceroute(dst: u16, length: u8, port: Port) -> CommandRequest {
+        CommandRequest::new(Command::Traceroute { dst, length, port })
+    }
+
+    /// The neighborhood `list` command.
+    pub fn neighbor_list(with_quality: bool) -> CommandRequest {
+        CommandRequest::new(Command::NeighborList { with_quality })
+    }
+
+    /// The `blacklist` command (add or remove).
+    pub fn blacklist(neighbor: u16, add: bool) -> CommandRequest {
+        CommandRequest::new(Command::Blacklist { neighbor, add })
+    }
+
+    /// Set the radio power level.
+    pub fn set_power(level: u8) -> CommandRequest {
+        CommandRequest::new(Command::SetPower(level))
+    }
+
+    /// Read the radio power level.
+    pub fn get_power() -> CommandRequest {
+        CommandRequest::new(Command::GetPower)
+    }
+
+    /// Set the radio channel.
+    pub fn set_channel(channel: u8) -> CommandRequest {
+        CommandRequest::new(Command::SetChannel(channel))
+    }
+
+    /// Read the radio channel.
+    pub fn get_channel() -> CommandRequest {
+        CommandRequest::new(Command::GetChannel)
+    }
+
+    /// One broadcast status query of every node in radio range of the
+    /// bridge (the paper's group operation).
+    pub fn survey() -> CommandRequest {
+        CommandRequest::new(Command::GroupStatus).group()
+    }
+
+    /// Toggle a node's on-demand event logging.
+    pub fn set_logging(on: bool) -> CommandRequest {
+        CommandRequest::new(Command::SetLogging(on))
+    }
+
+    /// Retrieve the most recent `max` entries of a node's event log.
+    pub fn read_log(max: u8) -> CommandRequest {
+        CommandRequest::new(Command::ReadLog { max })
+    }
+
+    /// The neighborhood `update` command (beacon frequency).
+    pub fn update_beacon(period: SimDuration) -> CommandRequest {
+        CommandRequest::new(Command::UpdateBeacon { period })
+    }
+}
+
+impl From<Command> for CommandRequest {
+    fn from(command: Command) -> CommandRequest {
+        CommandRequest::new(command)
+    }
 }
 
 impl Workstation {
@@ -70,19 +237,19 @@ impl Workstation {
     }
 
     /// "Log into" a node by name (the shell's `cd /sn01/<name>`).
-    pub fn cd(&mut self, net: &Network, name: &str) -> Result<u16, ShellError> {
+    pub fn cd(&mut self, net: &Network, name: &str) -> Result<u16, ExecError> {
         match net.resolve(name) {
             Some(id) => {
                 self.cwd = Some(id);
                 Ok(id)
             }
-            None => Err(ShellError::NoSuchNode(name.to_owned())),
+            None => Err(ExecError::NoSuchNode(name.to_owned())),
         }
     }
 
     /// The shell's `pwd` output (e.g. `/sn01/192.168.0.1`).
-    pub fn pwd(&self, net: &Network) -> Result<String, ShellError> {
-        let id = self.cwd.ok_or(ShellError::NoCwd)?;
+    pub fn pwd(&self, net: &Network) -> Result<String, ExecError> {
+        let id = self.cwd.ok_or(ExecError::NoCwd)?;
         Ok(shell_path(&net.node(id).name))
     }
 
@@ -107,14 +274,40 @@ impl Workstation {
         r
     }
 
-    /// Execute `command` on the node the shell is logged into.
-    pub fn exec(&mut self, net: &mut Network, command: Command) -> Result<Execution, ShellError> {
-        let target = self.cwd.ok_or(ShellError::NoCwd)?;
-        Ok(self.exec_on(net, target, command))
+    /// Execute a request — the single entry point every command goes
+    /// through. Accepts a bare [`Command`] (runs on the `cd` node) or
+    /// a [`CommandRequest`] aimed anywhere.
+    pub fn exec(
+        &mut self,
+        net: &mut Network,
+        request: impl Into<CommandRequest>,
+    ) -> Result<Execution, ExecError> {
+        let request = request.into();
+        let target = match request.target {
+            ExecTarget::Cwd => self.cwd.ok_or(ExecError::NoCwd)?,
+            ExecTarget::Node(id) => id,
+            ExecTarget::Group => GROUP_TARGET,
+        };
+        if target != GROUP_TARGET && target as usize >= net.node_count() {
+            return Err(ExecError::UnknownNode(target));
+        }
+        Ok(self.dispatch(net, target, request.command))
     }
 
-    /// Execute `command` on an explicit target node.
-    pub fn exec_on(&mut self, net: &mut Network, target: u16, command: Command) -> Execution {
+    /// Execute `command` on an explicit target node. Equivalent to
+    /// `exec` with [`CommandRequest::on`]; fallible like `exec` (the
+    /// historical infallible signature silently accepted bogus ids).
+    pub fn exec_on(
+        &mut self,
+        net: &mut Network,
+        target: u16,
+        command: Command,
+    ) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::new(command).on(target))
+    }
+
+    /// Drive one validated command through the interpreter.
+    fn dispatch(&mut self, net: &mut Network, target: u16, command: Command) -> Execution {
         let req_id = self.alloc_req();
         {
             let mut st = self.state.borrow_mut();
@@ -231,9 +424,11 @@ impl Workstation {
         }
     }
 
-    // ---- convenience wrappers matching the paper's shell commands ----
+    // ---- deprecated per-command wrappers (use `exec` + the
+    //      `CommandRequest` constructors instead) ----
 
     /// `ping <dst> round=<rounds> length=<len> [port=<p>]`.
+    #[deprecated(note = "use `exec` with `CommandRequest::ping`")]
     pub fn ping(
         &mut self,
         net: &mut Network,
@@ -241,90 +436,94 @@ impl Workstation {
         rounds: u8,
         length: u8,
         port: Option<Port>,
-    ) -> Result<Execution, ShellError> {
-        self.exec(
-            net,
-            Command::Ping {
-                dst,
-                rounds,
-                length,
-                port,
-            },
-        )
+    ) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::ping(dst, rounds, length, port))
     }
 
     /// `traceroute <dst> length=<len> port=<p>`.
+    #[deprecated(note = "use `exec` with `CommandRequest::traceroute`")]
     pub fn traceroute(
         &mut self,
         net: &mut Network,
         dst: u16,
         length: u8,
         port: Port,
-    ) -> Result<Execution, ShellError> {
-        self.exec(net, Command::Traceroute { dst, length, port })
+    ) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::traceroute(dst, length, port))
     }
 
     /// The neighborhood `list` command.
+    #[deprecated(note = "use `exec` with `CommandRequest::neighbor_list`")]
     pub fn neighbor_list(
         &mut self,
         net: &mut Network,
         with_quality: bool,
-    ) -> Result<Execution, ShellError> {
-        self.exec(net, Command::NeighborList { with_quality })
+    ) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::neighbor_list(with_quality))
     }
 
     /// The `blacklist` command (add or remove).
+    #[deprecated(note = "use `exec` with `CommandRequest::blacklist`")]
     pub fn blacklist(
         &mut self,
         net: &mut Network,
         neighbor: u16,
         add: bool,
-    ) -> Result<Execution, ShellError> {
-        self.exec(net, Command::Blacklist { neighbor, add })
+    ) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::blacklist(neighbor, add))
     }
 
     /// Set the radio power level.
-    pub fn set_power(&mut self, net: &mut Network, level: u8) -> Result<Execution, ShellError> {
-        self.exec(net, Command::SetPower(level))
+    #[deprecated(note = "use `exec` with `CommandRequest::set_power`")]
+    pub fn set_power(&mut self, net: &mut Network, level: u8) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::set_power(level))
     }
 
     /// Read the radio power level.
-    pub fn get_power(&mut self, net: &mut Network) -> Result<Execution, ShellError> {
-        self.exec(net, Command::GetPower)
+    #[deprecated(note = "use `exec` with `CommandRequest::get_power`")]
+    pub fn get_power(&mut self, net: &mut Network) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::get_power())
     }
 
     /// Set the radio channel.
-    pub fn set_channel(&mut self, net: &mut Network, channel: u8) -> Result<Execution, ShellError> {
-        self.exec(net, Command::SetChannel(channel))
+    #[deprecated(note = "use `exec` with `CommandRequest::set_channel`")]
+    pub fn set_channel(&mut self, net: &mut Network, channel: u8) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::set_channel(channel))
     }
 
     /// Read the radio channel.
-    pub fn get_channel(&mut self, net: &mut Network) -> Result<Execution, ShellError> {
-        self.exec(net, Command::GetChannel)
+    #[deprecated(note = "use `exec` with `CommandRequest::get_channel`")]
+    pub fn get_channel(&mut self, net: &mut Network) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::get_channel())
     }
 
     /// Survey every node in radio range of the bridge with one
     /// broadcast status query (the paper's group operation).
+    #[deprecated(note = "use `exec` with `CommandRequest::survey`")]
     pub fn survey(&mut self, net: &mut Network) -> Execution {
-        self.exec_on(net, GROUP_TARGET, Command::GroupStatus)
+        self.exec(net, CommandRequest::survey())
+            .expect("group target needs no cwd and skips id validation")
     }
 
     /// Toggle a node's on-demand event logging.
-    pub fn set_logging(&mut self, net: &mut Network, on: bool) -> Result<Execution, ShellError> {
-        self.exec(net, Command::SetLogging(on))
+    #[deprecated(note = "use `exec` with `CommandRequest::set_logging`")]
+    pub fn set_logging(&mut self, net: &mut Network, on: bool) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::set_logging(on))
     }
 
     /// Retrieve the most recent `max` entries of a node's event log.
-    pub fn read_log(&mut self, net: &mut Network, max: u8) -> Result<Execution, ShellError> {
-        self.exec(net, Command::ReadLog { max })
+    #[deprecated(note = "use `exec` with `CommandRequest::read_log`")]
+    pub fn read_log(&mut self, net: &mut Network, max: u8) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::read_log(max))
     }
 
     /// The neighborhood `update` command (beacon frequency).
+    #[deprecated(note = "use `exec` with `CommandRequest::update_beacon`")]
     pub fn update_beacon(
         &mut self,
         net: &mut Network,
         period: SimDuration,
-    ) -> Result<Execution, ShellError> {
-        self.exec(net, Command::UpdateBeacon { period })
+    ) -> Result<Execution, ExecError> {
+        self.exec(net, CommandRequest::update_beacon(period))
     }
 }

@@ -2,7 +2,7 @@
 //! stack: workstation → interpreter → radio → controller → command
 //! processes and back.
 
-use liteview::{install_suite, Command, CommandResult, Workstation};
+use liteview::{install_suite, Command, CommandRequest, CommandResult, Workstation};
 use lv_kernel::Network;
 use lv_net::packet::Port;
 use lv_net::routing::Geographic;
@@ -42,14 +42,14 @@ fn get_and_set_power() {
     let mut net = line_network(2, 5.0, 2);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.2").unwrap();
-    let exec = ws.get_power(&mut net).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::get_power()).unwrap();
     assert_eq!(exec.result, CommandResult::Power(31));
     // Fixed-window commands take the full 500 ms.
     assert_eq!(exec.response_delay, SimDuration::from_millis(500));
-    let exec = ws.set_power(&mut net, 10).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::set_power(10)).unwrap();
     assert_eq!(exec.result, CommandResult::Ok);
     assert_eq!(net.node(1).power.level(), 10);
-    let exec = ws.get_power(&mut net).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::get_power()).unwrap();
     assert_eq!(exec.result, CommandResult::Power(10));
 }
 
@@ -58,7 +58,7 @@ fn set_power_out_of_range_rejected() {
     let mut net = line_network(2, 5.0, 2);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.2").unwrap();
-    let exec = ws.set_power(&mut net, 77).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::set_power(77)).unwrap();
     assert_eq!(exec.result, CommandResult::Error(1));
     assert_eq!(net.node(1).power.level(), 31);
 }
@@ -68,9 +68,9 @@ fn get_and_set_channel() {
     let mut net = line_network(2, 5.0, 3);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.2").unwrap();
-    let exec = ws.get_channel(&mut net).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::get_channel()).unwrap();
     assert_eq!(exec.result, CommandResult::Channel(17)); // paper default
-    let exec = ws.set_channel(&mut net, 20).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::set_channel(20)).unwrap();
     assert_eq!(exec.result, CommandResult::Ok);
     assert_eq!(net.node(1).channel.number(), 20);
 }
@@ -80,7 +80,7 @@ fn one_hop_ping_rtt_magnitude() {
     let mut net = line_network(2, 5.0, 4);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.ping(&mut net, 1, 1, 32, None).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
     let CommandResult::Ping(p) = &exec.result else {
         panic!("expected ping result, got {:?}", exec.result);
     };
@@ -108,7 +108,7 @@ fn ping_multiple_rounds() {
     let mut net = line_network(2, 5.0, 5);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.ping(&mut net, 1, 3, 32, None).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::ping(1, 3, 32, None)).unwrap();
     let CommandResult::Ping(p) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -123,7 +123,7 @@ fn ping_dead_node_times_out_cleanly() {
     net.node_mut(2).alive = false;
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.ping(&mut net, 2, 1, 32, None).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::ping(2, 1, 32, None)).unwrap();
     let CommandResult::Ping(p) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -138,8 +138,7 @@ fn multi_hop_ping_collects_per_hop_padding() {
     let mut net = line_network(4, 12.0, 7);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws
-        .ping(&mut net, 3, 1, 16, Some(Port::GEOGRAPHIC))
+    let exec = ws.exec(&mut net, CommandRequest::ping(3, 1, 16, Some(Port::GEOGRAPHIC)))
         .unwrap();
     let CommandResult::Ping(p) = &exec.result else {
         panic!("{:?}", exec.result)
@@ -160,7 +159,7 @@ fn traceroute_reports_every_hop() {
     let mut net = line_network(4, 12.0, 8);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.traceroute(&mut net, 3, 32, Port::GEOGRAPHIC).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC)).unwrap();
     let CommandResult::Traceroute(t) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -213,7 +212,7 @@ fn neighbor_list_round_trip() {
     let mut net = line_network(3, 5.0, 10);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.2").unwrap(); // middle node
-    let exec = ws.neighbor_list(&mut net, true).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::neighbor_list(true)).unwrap();
     let CommandResult::Neighbors(rows) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -236,13 +235,13 @@ fn blacklist_changes_routing() {
     let mut net = line_network(4, 12.0, 11);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let before = ws.traceroute(&mut net, 3, 32, Port::GEOGRAPHIC).unwrap();
+    let before = ws.exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC)).unwrap();
     let CommandResult::Traceroute(t) = &before.result else {
         panic!("{:?}", before.result)
     };
     let first_hop_before = t.hops[0].record.far;
     assert!(!t.hops[0].record.no_route);
-    let exec = ws.blacklist(&mut net, first_hop_before, true).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::blacklist(first_hop_before, true)).unwrap();
     assert_eq!(exec.result, CommandResult::Ok);
     assert!(
         net.node(0)
@@ -252,15 +251,15 @@ fn blacklist_changes_routing() {
             .unwrap()
             .blacklisted
     );
-    let after = ws.traceroute(&mut net, 3, 32, Port::GEOGRAPHIC).unwrap();
+    let after = ws.exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC)).unwrap();
     if let CommandResult::Traceroute(t) = &after.result {
         if let Some(h) = t.hops.first() {
             assert_ne!(h.record.far, first_hop_before, "blacklisted node still used");
         }
     }
     // Un-blacklist restores the original route.
-    ws.blacklist(&mut net, first_hop_before, false).unwrap();
-    let restored = ws.traceroute(&mut net, 3, 32, Port::GEOGRAPHIC).unwrap();
+    ws.exec(&mut net, CommandRequest::blacklist(first_hop_before, false)).unwrap();
+    let restored = ws.exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC)).unwrap();
     let CommandResult::Traceroute(t) = &restored.result else {
         panic!("{:?}", restored.result)
     };
@@ -272,7 +271,7 @@ fn blacklist_unknown_neighbor_errors() {
     let mut net = line_network(2, 5.0, 12);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.blacklist(&mut net, 42, true).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::blacklist(42, true)).unwrap();
     assert_eq!(exec.result, CommandResult::Error(3));
 }
 
@@ -281,8 +280,7 @@ fn update_beacon_reconfigures_node() {
     let mut net = line_network(2, 5.0, 13);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.2").unwrap();
-    let exec = ws
-        .update_beacon(&mut net, SimDuration::from_millis(750))
+    let exec = ws.exec(&mut net, CommandRequest::update_beacon(SimDuration::from_millis(750)))
         .unwrap();
     assert_eq!(exec.result, CommandResult::Ok);
     assert_eq!(
@@ -316,7 +314,7 @@ fn transcript_has_paper_shape() {
     let mut net = line_network(2, 5.0, 15);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    ws.ping(&mut net, 1, 1, 32, None).unwrap();
+    ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
     let t = ws.transcript().join("\n");
     assert!(
         t.contains("Pinging 192.168.0.2 with 1 packets with 32 bytes:"),
@@ -339,7 +337,7 @@ fn one_hop_ping_costs_two_data_packets() {
     // pinging from the node the workstation bridges to (command + reply
     // are separate, counted below).
     let before = net.counters.get("tx.data");
-    ws.ping(&mut net, 1, 1, 32, None).unwrap();
+    ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
     let after = net.counters.get("tx.data");
     // Total data packets: command request is local (bridge == source ⇒
     // no radio), probe + probe-reply on the air, summary is local too.
@@ -352,7 +350,7 @@ fn determinism_across_runs() {
         let mut net = line_network(3, 10.0, seed);
         let mut ws = Workstation::install(&mut net, 0);
         ws.cd(&net, "192.168.0.1").unwrap();
-        let exec = ws.ping(&mut net, 2, 2, 32, Some(Port::GEOGRAPHIC)).unwrap();
+        let exec = ws.exec(&mut net, CommandRequest::ping(2, 2, 32, Some(Port::GEOGRAPHIC))).unwrap();
         format!("{:?}", exec.result)
     };
     assert_eq!(run(99), run(99));
@@ -364,16 +362,16 @@ fn event_log_round_trip() {
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.2").unwrap();
     // Logging starts disabled: reading yields an empty log.
-    let exec = ws.read_log(&mut net, 16).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::read_log(16)).unwrap();
     assert_eq!(exec.result, CommandResult::Log(vec![]));
     // Enable logging, then issue a few commands worth logging.
-    let exec = ws.set_logging(&mut net, true).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::set_logging(true)).unwrap();
     assert_eq!(exec.result, CommandResult::Ok);
-    ws.get_power(&mut net).unwrap();
-    ws.blacklist(&mut net, 0, true).unwrap();
-    ws.blacklist(&mut net, 0, false).unwrap();
+    ws.exec(&mut net, CommandRequest::get_power()).unwrap();
+    ws.exec(&mut net, CommandRequest::blacklist(0, true)).unwrap();
+    ws.exec(&mut net, CommandRequest::blacklist(0, false)).unwrap();
     // Fetch the log: the management requests themselves were logged.
-    let exec = ws.read_log(&mut net, 16).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::read_log(16)).unwrap();
     let CommandResult::Log(rows) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -384,10 +382,10 @@ fn event_log_round_trip() {
         assert!(w[1].time_ms >= w[0].time_ms);
     }
     // Disable again: no further entries accumulate.
-    ws.set_logging(&mut net, false).unwrap();
+    ws.exec(&mut net, CommandRequest::set_logging(false)).unwrap();
     let before = rows.len();
-    ws.get_power(&mut net).unwrap();
-    let exec = ws.read_log(&mut net, 32).unwrap();
+    ws.exec(&mut net, CommandRequest::get_power()).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::read_log(32)).unwrap();
     let CommandResult::Log(rows) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -409,11 +407,11 @@ fn every_channel_works() {
         // Retune the far node via management, then the bridge locally
         // (the bridge mote's radio is under the operator's hand).
         ws.cd(&net, "192.168.0.2").unwrap();
-        let exec = ws.set_channel(&mut net, ch).unwrap();
+        let exec = ws.exec(&mut net, CommandRequest::set_channel(ch)).unwrap();
         assert_eq!(exec.result, CommandResult::Ok, "set channel {ch}");
         net.node_mut(0).channel = lv_radio::Channel::new(ch).unwrap();
         ws.cd(&net, "192.168.0.1").unwrap();
-        let exec = ws.ping(&mut net, 1, 1, 32, None).unwrap();
+        let exec = ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
         let CommandResult::Ping(p) = &exec.result else {
             panic!("channel {ch}: {:?}", exec.result)
         };
@@ -431,16 +429,16 @@ fn sequential_commands_do_not_interfere() {
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.2").unwrap();
     for round in 0..3 {
-        let exec = ws.get_power(&mut net).unwrap();
+        let exec = ws.exec(&mut net, CommandRequest::get_power()).unwrap();
         assert_eq!(exec.result, CommandResult::Power(31), "round {round}");
-        let exec = ws.get_channel(&mut net).unwrap();
+        let exec = ws.exec(&mut net, CommandRequest::get_channel()).unwrap();
         assert_eq!(exec.result, CommandResult::Channel(17), "round {round}");
-        let exec = ws.neighbor_list(&mut net, false).unwrap();
+        let exec = ws.exec(&mut net, CommandRequest::neighbor_list(false)).unwrap();
         let CommandResult::Neighbors(rows) = &exec.result else {
             panic!("round {round}: {:?}", exec.result)
         };
         assert_eq!(rows.len(), 2, "round {round}");
-        let exec = ws.ping(&mut net, 1, 1, 32, None).unwrap();
+        let exec = ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
         assert!(
             matches!(&exec.result, CommandResult::Ping(p) if p.received == 1),
             "round {round}: {:?}",
@@ -466,7 +464,7 @@ fn multi_hop_ping_over_flooding() {
     net.run_for(SimDuration::from_secs(20));
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.ping(&mut net, 3, 1, 16, Some(Port::FLOODING)).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::ping(3, 1, 16, Some(Port::FLOODING))).unwrap();
     let CommandResult::Ping(p) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -506,7 +504,7 @@ fn loaded_link_reports_nonzero_queue() {
     // catch its queue non-empty.
     let mut saw_queue = false;
     for _ in 0..10 {
-        let exec = ws.ping(&mut net, 1, 1, 32, None).unwrap();
+        let exec = ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
         if let CommandResult::Ping(p) = &exec.result {
             if p.rounds.first().is_some_and(|r| r.queue_fwd > 0) {
                 saw_queue = true;
@@ -535,7 +533,7 @@ fn group_survey_hears_every_node_in_range() {
     install_suite(&mut net);
     net.run_for(SimDuration::from_secs(10));
     let mut ws = Workstation::install(&mut net, 0);
-    let exec = ws.survey(&mut net);
+    let exec = ws.exec(&mut net, CommandRequest::survey()).unwrap();
     let CommandResult::GroupStatus(rows) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -566,10 +564,76 @@ fn group_survey_skips_dead_nodes() {
     net.run_for(SimDuration::from_secs(5));
     net.node_mut(2).alive = false;
     let mut ws = Workstation::install(&mut net, 0);
-    let exec = ws.survey(&mut net);
+    let exec = ws.exec(&mut net, CommandRequest::survey()).unwrap();
     let CommandResult::GroupStatus(rows) = &exec.result else {
         panic!("{:?}", exec.result)
     };
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].node, 1);
+}
+
+#[test]
+fn exec_rejects_bad_targets_up_front() {
+    use liteview::{ExecError, ExecTarget};
+    let mut net = line_network(2, 5.0, 31);
+    let mut ws = Workstation::install(&mut net, 0);
+
+    // No `cd` yet: a cwd-targeted request must fail without touching
+    // the network.
+    let before = net.now();
+    assert!(matches!(
+        ws.exec(&mut net, CommandRequest::get_power()),
+        Err(ExecError::NoCwd)
+    ));
+    assert_eq!(net.now(), before, "failed exec must not advance time");
+
+    // Unknown explicit node ids are rejected by `exec` and `exec_on`
+    // alike (the old `exec_on` silently accepted them).
+    assert!(matches!(
+        ws.exec(&mut net, CommandRequest::get_power().on(99)),
+        Err(ExecError::UnknownNode(99))
+    ));
+    assert!(matches!(
+        ws.exec_on(&mut net, 99, Command::GetPower),
+        Err(ExecError::UnknownNode(99))
+    ));
+
+    // Unknown names still surface through `cd`.
+    assert!(matches!(
+        ws.cd(&net, "10.0.0.1"),
+        Err(ExecError::NoSuchNode(_))
+    ));
+
+    // Builder: target defaults to cwd and is re-aimable.
+    let req = CommandRequest::get_power();
+    assert_eq!(req.target(), ExecTarget::Cwd);
+    assert_eq!(req.clone().on(1).target(), ExecTarget::Node(1));
+    assert_eq!(req.clone().group().target(), ExecTarget::Group);
+    assert_eq!(req.on(1).at_cwd().target(), ExecTarget::Cwd);
+    assert_eq!(
+        CommandRequest::survey().target(),
+        ExecTarget::Group,
+        "survey is group-targeted by construction"
+    );
+}
+
+#[test]
+fn exec_accepts_bare_commands_and_aimed_requests() {
+    let mut net = line_network(2, 5.0, 32);
+    let mut ws = Workstation::install(&mut net, 0);
+    ws.cd(&net, "192.168.0.1").unwrap();
+
+    // A bare Command runs on the cwd node.
+    let exec = ws.exec(&mut net, Command::GetPower).unwrap();
+    assert_eq!(exec.target, 0);
+    assert!(matches!(exec.result, CommandResult::Power(_)));
+
+    // The same request aimed at an explicit node runs there instead,
+    // without moving the cwd.
+    let exec = ws
+        .exec(&mut net, CommandRequest::get_power().on(1))
+        .unwrap();
+    assert_eq!(exec.target, 1);
+    assert!(matches!(exec.result, CommandResult::Power(_)));
+    assert_eq!(ws.cwd(), Some(0));
 }

@@ -158,6 +158,141 @@ impl Histogram {
     pub fn overflow(&self) -> u64 {
         self.overflow
     }
+
+    /// Merge another histogram recorded with the same geometry
+    /// (bucket width and bucket count) into this one. Panics on a
+    /// geometry mismatch — merging differently shaped histograms would
+    /// silently misplace samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "histogram bucket widths differ"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram bucket counts differ"
+        );
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// A mergeable running summary of scalar samples (Welford's online
+/// algorithm, extended with Chan's parallel combination rule).
+///
+/// This is the unit the multi-trial experiment engine aggregates:
+/// each trial accumulates a `Summary` independently, then the runner
+/// merges them in trial order, which keeps the float arithmetic — and
+/// therefore the reported statistics — bit-identical no matter how
+/// many worker threads ran the trials.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another summary into this one (Chan et al.'s pairwise
+    /// update). Merging in a fixed order is deterministic.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * (n2 / total);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / total);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample standard deviation (zero for fewer than two
+    /// samples).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// of the mean (`1.96 · s/√n`; zero for fewer than two samples).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev() / (self.count as f64).sqrt()
+        }
+    }
 }
 
 /// A `(time, value)` series; used for per-hop delay plots such as Fig. 5.
@@ -304,5 +439,93 @@ mod tests {
     #[should_panic]
     fn histogram_zero_width_panics() {
         let _ = Histogram::new(SimDuration::ZERO, 4);
+    }
+
+    #[test]
+    fn histogram_merge_combines_everything() {
+        let mut a = Histogram::new(SimDuration::from_millis(1), 4);
+        let mut b = Histogram::new(SimDuration::from_millis(1), 4);
+        a.record(SimDuration::from_millis(1));
+        b.record(SimDuration::from_millis(3));
+        b.record(SimDuration::from_millis(10)); // overflow
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.min(), Some(SimDuration::from_millis(1)));
+        assert_eq!(a.max(), Some(SimDuration::from_millis(10)));
+        assert_eq!(
+            a.mean(),
+            SimDuration::from_nanos((1_000_000 + 3_000_000 + 10_000_000) / 3)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_merge_geometry_mismatch_panics() {
+        let mut a = Histogram::new(SimDuration::from_millis(1), 4);
+        let b = Histogram::new(SimDuration::from_millis(2), 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn summary_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample (n-1) stddev of the classic dataset is sqrt(32/7).
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &xs[..17] {
+            left.push(x);
+        }
+        for &x in &xs[17..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.stddev() - whole.stddev()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty_is_identity() {
+        let mut s = Summary::new();
+        s.push(3.0);
+        let before = (s.count(), s.mean(), s.stddev());
+        s.merge(&Summary::new());
+        assert_eq!((s.count(), s.mean(), s.stddev()), before);
+        let mut empty = Summary::new();
+        empty.merge(&s);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 3.0);
+    }
+
+    #[test]
+    fn empty_summary_is_inert() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.ci95_half_width(), 0.0);
     }
 }

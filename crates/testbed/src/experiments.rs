@@ -8,7 +8,7 @@ use crate::results::*;
 use crate::scenario::{Scenario, ScenarioConfig};
 use crate::topology::Topology;
 use liteview::wire::PingReply;
-use liteview::{Command, CommandResult, TraceOutcome};
+use liteview::{Command, CommandRequest, CommandResult, TraceOutcome};
 use lv_kernel::{Network, Process, ProcessImage, RxMeta, SysCtx};
 use lv_net::packet::{NetPacket, Port, PAYLOAD_AREA};
 use lv_net::padding::HopQuality;
@@ -29,7 +29,7 @@ fn corridor_traceroute(seed: u64, power_level: Option<u8>) -> (Scenario, TraceOu
         s.net.run_for(SimDuration::from_secs(10));
     }
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
-    let exec = s.ws.traceroute(&mut s.net, 8, 32, Port::GEOGRAPHIC).unwrap();
+    let exec = s.ws.exec(&mut s.net, CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC)).unwrap();
     let CommandResult::Traceroute(t) = exec.result else {
         panic!("traceroute failed: {:?}", exec.result);
     };
@@ -73,6 +73,32 @@ pub fn fig6_rssi_vs_power(seed: u64) -> Vec<Fig6Row> {
         .collect()
 }
 
+/// One point of the Fig. 7 sweep: overhead of one traceroute over a
+/// `hops`-hop corridor.
+fn fig7_point(seed: u64, hops: u8) -> Fig7Row {
+    let topo = Topology::Corridor {
+        n: hops as usize + 1,
+        spacing: 5.0,
+        wall_loss_db: 40.0,
+    };
+    let mut s = Scenario::build(ScenarioConfig::new(topo, seed));
+    s.ws.cd(&s.net, "192.168.0.1").unwrap();
+    s.reset_counters();
+    let exec = s
+        .ws.exec(&mut s.net, CommandRequest::traceroute(hops as u16, 32, Port::GEOGRAPHIC))
+        .unwrap();
+    assert!(
+        matches!(exec.result, CommandResult::Traceroute(_)),
+        "hops={hops}: {:?}",
+        exec.result
+    );
+    Fig7Row {
+        hops,
+        control_packets: s.net.counters.get("tx.data"),
+        acks: s.net.counters.get("tx.ack"),
+    }
+}
+
 /// **Fig. 7** — traceroute command overhead (packets) vs path length.
 ///
 /// Path lengths are swept in parallel with `crossbeam` (each run builds
@@ -81,32 +107,7 @@ pub fn fig7_overhead(seed: u64) -> Vec<Fig7Row> {
     let mut rows: Vec<Fig7Row> = Vec::new();
     crossbeam::scope(|scope| {
         let handles: Vec<_> = (1..=8u8)
-            .map(|hops| {
-                scope.spawn(move |_| {
-                    let topo = Topology::Corridor {
-                        n: hops as usize + 1,
-                        spacing: 5.0,
-                        wall_loss_db: 40.0,
-                    };
-                    let mut s = Scenario::build(ScenarioConfig::new(topo, seed));
-                    s.ws.cd(&s.net, "192.168.0.1").unwrap();
-                    s.reset_counters();
-                    let exec = s
-                        .ws
-                        .traceroute(&mut s.net, hops as u16, 32, Port::GEOGRAPHIC)
-                        .unwrap();
-                    assert!(
-                        matches!(exec.result, CommandResult::Traceroute(_)),
-                        "hops={hops}: {:?}",
-                        exec.result
-                    );
-                    Fig7Row {
-                        hops,
-                        control_packets: s.net.counters.get("tx.data"),
-                        acks: s.net.counters.get("tx.ack"),
-                    }
-                })
-            })
+            .map(|hops| scope.spawn(move |_| fig7_point(seed, hops)))
             .collect();
         for h in handles {
             rows.push(h.join().expect("sweep thread"));
@@ -175,7 +176,7 @@ pub fn text_ping_sample(seed: u64) -> TpingRow {
     let cfg = ScenarioConfig::new(Topology::Line { n: 2, spacing: 3.0 }, seed);
     let mut s = Scenario::build(cfg);
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
-    let exec = s.ws.ping(&mut s.net, 1, 1, 32, None).unwrap();
+    let exec = s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None)).unwrap();
     let CommandResult::Ping(p) = exec.result else {
         panic!("ping failed: {:?}", exec.result);
     };
@@ -302,7 +303,7 @@ pub fn text_onehop_overhead(seed: u64) -> TovhRow {
     let mut s = Scenario::build(cfg);
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
     s.reset_counters();
-    let exec = s.ws.ping(&mut s.net, 1, 1, 32, None).unwrap();
+    let exec = s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None)).unwrap();
     assert!(matches!(exec.result, CommandResult::Ping(_)));
     TovhRow {
         command: "ping (one hop)".into(),
@@ -328,7 +329,7 @@ pub fn ablation_traceroute_vs_ping(seed: u64) -> Vec<AblationRow> {
         let mut s = Scenario::build(ScenarioConfig::new(topo.clone(), seed));
         s.ws.cd(&s.net, "192.168.0.1").unwrap();
         s.reset_counters();
-        s.ws.traceroute(&mut s.net, hops as u16, 32, Port::GEOGRAPHIC)
+        s.ws.exec(&mut s.net, CommandRequest::traceroute(hops as u16, 32, Port::GEOGRAPHIC))
             .unwrap();
         rows.push(AblationRow {
             arm: format!("traceroute hops={hops}"),
@@ -344,7 +345,7 @@ pub fn ablation_traceroute_vs_ping(seed: u64) -> Vec<AblationRow> {
         let mut s = Scenario::build(ScenarioConfig::new(topo, seed));
         s.ws.cd(&s.net, "192.168.0.1").unwrap();
         s.reset_counters();
-        s.ws.ping(&mut s.net, hops as u16, 1, 16, Some(Port::GEOGRAPHIC))
+        s.ws.exec(&mut s.net, CommandRequest::ping(hops as u16, 1, 16, Some(Port::GEOGRAPHIC)))
             .unwrap();
         rows.push(AblationRow {
             arm: format!("multihop-ping hops={hops}"),
@@ -570,8 +571,7 @@ pub fn ablation_padding(seed: u64) -> Vec<AblationRow> {
         s.ws.cd(&s.net, "192.168.0.1").unwrap();
         s.reset_counters();
         let exec = s
-            .ws
-            .ping(&mut s.net, 4, 1, length, Some(Port::GEOGRAPHIC))
+            .ws.exec(&mut s.net, CommandRequest::ping(4, 1, length, Some(Port::GEOGRAPHIC)))
             .unwrap();
         // Forward-path entries only: the probe's padding space is what
         // the arm varies (the reply packet has its own, separate room).
@@ -675,13 +675,13 @@ pub fn ablation_energy(seed: u64) -> Vec<AblationRow> {
         active_sum(&s) - before
     };
     let ping_1hop = run(&|s| {
-        s.ws.ping(&mut s.net, 1, 1, 32, None).unwrap();
+        s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None)).unwrap();
     });
     let ping_8hop = run(&|s| {
-        s.ws.ping(&mut s.net, 8, 1, 16, Some(Port::GEOGRAPHIC)).unwrap();
+        s.ws.exec(&mut s.net, CommandRequest::ping(8, 1, 16, Some(Port::GEOGRAPHIC))).unwrap();
     });
     let traceroute_8hop = run(&|s| {
-        s.ws.traceroute(&mut s.net, 8, 32, Port::GEOGRAPHIC).unwrap();
+        s.ws.exec(&mut s.net, CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC)).unwrap();
     });
     let beacons_per_min = {
         let mut s = Scenario::build(ScenarioConfig::new(topo(), seed));
@@ -763,6 +763,215 @@ pub fn characterize_links(seed: u64) -> Vec<LinkCharRow> {
         d += 2.0;
     }
     rows
+}
+
+// ---------------------------------------------------------------------
+// Multi-trial aggregates (run through `runner::TrialRunner`)
+// ---------------------------------------------------------------------
+
+use crate::runner::{FailurePlan, TrialRunner};
+use crate::stats::AggregateStats;
+use lv_sim::Summary;
+
+/// **Fig. 5, aggregate** — per-hop traceroute response delay across
+/// `runner.trials()` independent trials (fresh network per trial).
+///
+/// Hops whose report was lost in a trial contribute no sample for that
+/// trial, so a row's `delay_ms.n` can be below `trials`.
+pub fn fig5_traceroute_delay_agg(runner: &TrialRunner) -> Vec<Fig5AggRow> {
+    let per_trial = runner.run(|t| fig5_traceroute_delay(t.seed));
+    let mut per_hop: Vec<Summary> = (0..8).map(|_| Summary::new()).collect();
+    for rows in &per_trial {
+        for r in rows {
+            if (1..=8).contains(&r.hop) {
+                per_hop[r.hop as usize - 1].push(r.delay_ms);
+            }
+        }
+    }
+    per_hop
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.count() > 0)
+        .map(|(i, s)| Fig5AggRow {
+            hop: i as u8 + 1,
+            trials: runner.trials() as u64,
+            delay_ms: AggregateStats::from_summary(s),
+        })
+        .collect()
+}
+
+/// **Fig. 6, aggregate** — per-hop RSSI at power levels 10 and 25
+/// across trials. A hop contributes to a trial only when both power
+/// levels produced a non-lost probe there (same rule as the
+/// single-trial driver).
+pub fn fig6_rssi_vs_power_agg(runner: &TrialRunner) -> Vec<Fig6AggRow> {
+    let per_trial = runner.run(|t| fig6_rssi_vs_power(t.seed));
+    let mut per_hop: Vec<[Summary; 4]> = (0..8).map(|_| Default::default()).collect();
+    for rows in &per_trial {
+        for r in rows {
+            if (1..=8).contains(&r.hop) {
+                let s = &mut per_hop[r.hop as usize - 1];
+                s[0].push(r.fwd_p10 as f64);
+                s[1].push(r.bwd_p10 as f64);
+                s[2].push(r.fwd_p25 as f64);
+                s[3].push(r.bwd_p25 as f64);
+            }
+        }
+    }
+    per_hop
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s[0].count() > 0)
+        .map(|(i, s)| Fig6AggRow {
+            hop: i as u8 + 1,
+            trials: runner.trials() as u64,
+            fwd_p10: AggregateStats::from_summary(&s[0]),
+            bwd_p10: AggregateStats::from_summary(&s[1]),
+            fwd_p25: AggregateStats::from_summary(&s[2]),
+            bwd_p25: AggregateStats::from_summary(&s[3]),
+        })
+        .collect()
+}
+
+/// **Fig. 7, aggregate** — traceroute overhead vs path length across
+/// trials. Each trial sweeps all eight path lengths serially (the
+/// runner already parallelizes across trials, so nesting the
+/// crossbeam sweep of [`fig7_overhead`] would only oversubscribe).
+pub fn fig7_overhead_agg(runner: &TrialRunner) -> Vec<Fig7AggRow> {
+    let per_trial = runner.run(|t| {
+        (1..=8u8)
+            .map(|hops| fig7_point(t.seed, hops))
+            .collect::<Vec<_>>()
+    });
+    (0..8usize)
+        .map(|i| {
+            let mut control = Summary::new();
+            let mut acks = Summary::new();
+            for rows in &per_trial {
+                control.push(rows[i].control_packets as f64);
+                acks.push(rows[i].acks as f64);
+            }
+            Fig7AggRow {
+                hops: i as u8 + 1,
+                trials: runner.trials() as u64,
+                control_packets: AggregateStats::from_summary(&control),
+                acks: AggregateStats::from_summary(&acks),
+            }
+        })
+        .collect()
+}
+
+/// **Link characterization, aggregate** — PRR/RSSI/LQI vs distance
+/// across trials. Trials where a distance saw no receptions contribute
+/// no RSSI/LQI sample there (their per-trial mean is NaN).
+pub fn characterize_links_agg(runner: &TrialRunner) -> Vec<LinkCharAggRow> {
+    let per_trial = runner.run(|t| characterize_links(t.seed));
+    let distances: Vec<f64> = per_trial[0].iter().map(|r| r.distance_m).collect();
+    distances
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let mut prr = Summary::new();
+            let mut rssi = Summary::new();
+            let mut lqi = Summary::new();
+            for rows in &per_trial {
+                let r = &rows[i];
+                prr.push(r.prr);
+                if !r.mean_rssi.is_nan() {
+                    rssi.push(r.mean_rssi);
+                }
+                if !r.mean_lqi.is_nan() {
+                    lqi.push(r.mean_lqi);
+                }
+            }
+            LinkCharAggRow {
+                distance_m: d,
+                trials: runner.trials() as u64,
+                prr: AggregateStats::from_summary(&prr),
+                mean_rssi: AggregateStats::from_summary(&rssi),
+                mean_lqi: AggregateStats::from_summary(&lqi),
+            }
+        })
+        .collect()
+}
+
+/// **Failure-injection sweep** — diagnosis outcome on the 8-hop
+/// corridor when a fraction of trials has a fault injected after
+/// warm-up, composing [`crate::failures`] with the trial runner.
+///
+/// For each plan, every trial builds a fresh corridor, faults it if
+/// [`FailurePlan::applies_to`] says so, gives routing five simulated
+/// seconds to notice, then traceroutes the far end. The row aggregates
+/// whether the destination was reached (0/1 per trial), how many hops
+/// the trace covered, and when the last hop report arrived.
+pub fn failure_sweep(runner: &TrialRunner, plans: &[FailurePlan]) -> Vec<FailureSweepRow> {
+    plans
+        .iter()
+        .map(|plan| {
+            let samples = runner.run(|t| {
+                let cfg = ScenarioConfig::new(Topology::eight_hop_corridor(), t.seed);
+                let mut s = Scenario::build(cfg);
+                if plan.applies_to(t.index, t.trials) {
+                    plan.mode.apply(&mut s.net);
+                    s.net.run_for(SimDuration::from_secs(5));
+                }
+                s.ws.cd(&s.net, "192.168.0.1").unwrap();
+                let exec = s.ws.exec(&mut s.net, CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC)).unwrap();
+                match exec.result {
+                    CommandResult::Traceroute(t) => {
+                        let covered =
+                            t.hops.iter().map(|h| h.record.hop_index).max().unwrap_or(0);
+                        let last_ms = t
+                            .hops
+                            .iter()
+                            .map(|h| h.arrival)
+                            .max()
+                            .unwrap_or(exec.response_delay)
+                            .as_millis_f64();
+                        (t.reached, covered, last_ms)
+                    }
+                    // A dead first hop can leave the window empty.
+                    _ => (false, 0, exec.response_delay.as_millis_f64()),
+                }
+            });
+            let trials = runner.trials();
+            FailureSweepRow {
+                mode: plan.mode.label(),
+                fraction: plan.fraction,
+                trials: trials as u64,
+                faulted: plan.affected_count(trials) as u64,
+                reached: crate::stats::aggregate(
+                    samples.iter().map(|&(r, _, _)| f64::from(r)),
+                ),
+                hops_covered: crate::stats::aggregate(
+                    samples.iter().map(|&(_, h, _)| h as f64),
+                ),
+                last_report_ms: crate::stats::aggregate(
+                    samples.iter().map(|&(_, _, ms)| ms),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// The default failure plans the `figures` harness sweeps: a dead
+/// mid-path node, a hard-broken mid-path link, and a heavily
+/// attenuated (but not severed) mid-path link, each in half the
+/// trials so faulted and healthy aggregates are directly comparable.
+pub fn default_failure_plans() -> Vec<FailurePlan> {
+    use crate::runner::FailureMode;
+    vec![
+        FailurePlan::new(FailureMode::KillNode { id: 4 }, 0.5),
+        FailurePlan::new(FailureMode::BreakLink { a: 4, b: 5 }, 0.5),
+        FailurePlan::new(
+            FailureMode::AttenuateLink {
+                from: 4,
+                to: 5,
+                loss_db: 25.0,
+            },
+            0.5,
+        ),
+    ]
 }
 
 #[cfg(test)]

@@ -16,6 +16,9 @@
 //!   broken and asymmetric links, attenuation, node moves.
 //! * [`experiments`] — the drivers that regenerate every figure and
 //!   in-text number of Section V (see `DESIGN.md` §4 for the index).
+//! * [`runner`] — the parallel multi-trial engine: deterministic seed
+//!   splitting, a scoped worker pool, and failure-injection sweeps.
+//! * [`stats`] — mean / stddev / 95% CI aggregation of trial results.
 //! * [`results`] — serializable row types the `figures` harness prints.
 //! * [`map`] — ASCII deployment maps for the interactive shell.
 
@@ -23,8 +26,12 @@ pub mod experiments;
 pub mod failures;
 pub mod map;
 pub mod results;
+pub mod runner;
 pub mod scenario;
+pub mod stats;
 pub mod topology;
 
+pub use runner::{FailureMode, FailurePlan, TrialCtx, TrialRunner};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use stats::AggregateStats;
 pub use topology::Topology;

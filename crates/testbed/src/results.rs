@@ -171,3 +171,87 @@ pub struct LinkCharRow {
     /// Mean LQI of received frames.
     pub mean_lqi: f64,
 }
+
+// ---------------------------------------------------------------------
+// Multi-trial aggregate rows (produced through `runner::TrialRunner`)
+// ---------------------------------------------------------------------
+
+use crate::stats::AggregateStats;
+
+/// Fig. 5 aggregate — per-hop traceroute response delay across trials.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig5AggRow {
+    /// 1-based hop index along the 8-hop path.
+    pub hop: u8,
+    /// Trials in the run (hops missing in a trial contribute no
+    /// sample, so `delay_ms.n` can be smaller).
+    pub trials: u64,
+    /// Response-delay statistics, ms.
+    pub delay_ms: AggregateStats,
+}
+
+/// Fig. 6 aggregate — per-hop RSSI at two power levels across trials.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig6AggRow {
+    /// 1-based hop index.
+    pub hop: u8,
+    /// Trials in the run.
+    pub trials: u64,
+    /// Forward-link RSSI at power level 10.
+    pub fwd_p10: AggregateStats,
+    /// Backward-link RSSI at power level 10.
+    pub bwd_p10: AggregateStats,
+    /// Forward-link RSSI at power level 25.
+    pub fwd_p25: AggregateStats,
+    /// Backward-link RSSI at power level 25.
+    pub bwd_p25: AggregateStats,
+}
+
+/// Fig. 7 aggregate — traceroute overhead vs path length across trials.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig7AggRow {
+    /// Path length in hops.
+    pub hops: u8,
+    /// Trials in the run.
+    pub trials: u64,
+    /// Control (data-plane) packet count statistics.
+    pub control_packets: AggregateStats,
+    /// Link-layer acknowledgement count statistics.
+    pub acks: AggregateStats,
+}
+
+/// Link-characterization aggregate — one distance point across trials.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LinkCharAggRow {
+    /// Transmitter–receiver distance, meters.
+    pub distance_m: f64,
+    /// Trials in the run.
+    pub trials: u64,
+    /// Packet-reception-ratio statistics.
+    pub prr: AggregateStats,
+    /// Mean-RSSI statistics (received frames only; trials with no
+    /// receptions contribute no sample).
+    pub mean_rssi: AggregateStats,
+    /// Mean-LQI statistics (same sampling rule as `mean_rssi`).
+    pub mean_lqi: AggregateStats,
+}
+
+/// Failure-injection sweep — diagnosis outcome under one failure plan.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FailureSweepRow {
+    /// Failure mode label (see `runner::FailureMode::label`).
+    pub mode: String,
+    /// Fraction of trials that received the fault.
+    pub fraction: f64,
+    /// Trials in the run.
+    pub trials: u64,
+    /// Trials actually faulted.
+    pub faulted: u64,
+    /// Probability the traceroute reached its destination (per-trial
+    /// 0/1 samples).
+    pub reached: AggregateStats,
+    /// Hops the trace covered before stopping.
+    pub hops_covered: AggregateStats,
+    /// Response delay of the last hop report that did arrive, ms.
+    pub last_report_ms: AggregateStats,
+}

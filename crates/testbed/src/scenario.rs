@@ -130,14 +130,14 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use liteview::CommandResult;
+    use liteview::{CommandRequest, CommandResult};
 
     #[test]
     fn builds_and_pings() {
         let cfg = ScenarioConfig::new(Topology::Line { n: 2, spacing: 5.0 }, 5);
         let mut s = Scenario::build(cfg);
         s.ws.cd(&s.net, "192.168.0.1").unwrap();
-        let exec = s.ws.ping(&mut s.net, 1, 1, 32, None).unwrap();
+        let exec = s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None)).unwrap();
         let CommandResult::Ping(p) = exec.result else {
             panic!()
         };

@@ -11,7 +11,7 @@
 //! on a dead node plus an *asymmetric* link, fixes the antenna, and
 //! verifies the repair — all without touching the deployed application.
 
-use liteview_repro::liteview::{CommandResult, Workstation};
+use liteview_repro::liteview::{CommandRequest, CommandResult, Workstation};
 use liteview_repro::lv_net::packet::Port;
 use liteview_repro::lv_sim::SimDuration;
 use liteview_repro::lv_testbed::failures;
@@ -43,7 +43,7 @@ fn main() {
     // Step 1: is the far end alive at all?
     println!("\n$ping 192.168.0.6 round=1 length=32 port=10");
     s.ws.clear_transcript();
-    s.ws.ping(&mut s.net, 5, 1, 32, Some(Port::GEOGRAPHIC))
+    s.ws.exec(&mut s.net, CommandRequest::ping(5, 1, 32, Some(Port::GEOGRAPHIC)))
         .unwrap();
     for l in s.ws.transcript() {
         println!("{l}");
@@ -54,8 +54,7 @@ fn main() {
     println!("\n$traceroute 192.168.0.5 round=1 length=32 port=10");
     s.ws.clear_transcript();
     let exec = s
-        .ws
-        .traceroute(&mut s.net, 4, 32, Port::GEOGRAPHIC)
+        .ws.exec(&mut s.net, CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC))
         .unwrap();
     for l in s.ws.transcript() {
         println!("{l}");
@@ -73,7 +72,7 @@ fn main() {
     let mut ws2 = Workstation::install(&mut s.net, 3);
     ws2.cd(&s.net, "192.168.0.4").unwrap();
     println!("$list quality");
-    ws2.neighbor_list(&mut s.net, true).unwrap();
+    ws2.exec(&mut s.net, CommandRequest::neighbor_list(true)).unwrap();
     for l in ws2.transcript() {
         println!("{l}");
     }
@@ -85,13 +84,13 @@ fn main() {
     let mut ws3 = Workstation::install(&mut s.net, 4);
     ws3.cd(&s.net, "192.168.0.5").unwrap();
     println!("$list quality");
-    ws3.neighbor_list(&mut s.net, true).unwrap();
+    ws3.exec(&mut s.net, CommandRequest::neighbor_list(true)).unwrap();
     for l in ws3.transcript() {
         println!("{l}");
     }
     println!("\n$ping 192.168.0.4 round=1 length=32");
     ws3.clear_transcript();
-    ws3.ping(&mut s.net, 3, 1, 32, None).unwrap();
+    ws3.exec(&mut s.net, CommandRequest::ping(3, 1, 32, None)).unwrap();
     for l in ws3.transcript() {
         println!("{l}");
     }
@@ -106,8 +105,7 @@ fn main() {
     println!("$traceroute 192.168.0.5 round=1 length=32 port=10   (from node .1)");
     s.ws.clear_transcript();
     let exec = s
-        .ws
-        .traceroute(&mut s.net, 4, 32, Port::GEOGRAPHIC)
+        .ws.exec(&mut s.net, CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC))
         .unwrap();
     for l in s.ws.transcript() {
         println!("{l}");

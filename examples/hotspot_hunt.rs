@@ -12,7 +12,7 @@
 //! operator pings pairs along the path and reads RTTs and queue
 //! occupancies to locate the congested relay.
 
-use liteview_repro::liteview::CommandResult;
+use liteview_repro::liteview::{CommandRequest, CommandResult};
 use liteview_repro::lv_kernel::{Process, RxMeta, SysCtx};
 use liteview_repro::lv_net::packet::{NetPacket, Port};
 use liteview_repro::lv_sim::SimDuration;
@@ -85,8 +85,7 @@ fn main() {
     let mut worst: Option<(u16, f64)> = None;
     for hop in 1..6u16 {
         let exec = s
-            .ws
-            .ping(&mut s.net, hop, 1, 32, Some(Port::GEOGRAPHIC))
+            .ws.exec(&mut s.net, CommandRequest::ping(hop, 1, 32, Some(Port::GEOGRAPHIC)))
             .unwrap();
         if let CommandResult::Ping(p) = &exec.result {
             if let Some(r) = p.rounds.first() {
@@ -110,7 +109,7 @@ fn main() {
     // Per-hop view of the busiest path.
     println!("\n$traceroute 192.168.0.6 round=1 length=32 port=10");
     s.ws.clear_transcript();
-    s.ws.traceroute(&mut s.net, 5, 32, Port::GEOGRAPHIC).unwrap();
+    s.ws.exec(&mut s.net, CommandRequest::traceroute(5, 32, Port::GEOGRAPHIC)).unwrap();
     for l in s.ws.transcript() {
         println!("{l}");
     }

@@ -9,7 +9,7 @@
 //! management commands (`list`, `blacklist`, `update`), and the radio
 //! configuration utilities — printing output in the paper's format.
 
-use liteview_repro::liteview::Command;
+use liteview_repro::liteview::{Command, CommandRequest};
 use liteview_repro::lv_net::packet::Port;
 use liteview_repro::lv_sim::SimDuration;
 use liteview_repro::lv_testbed::{Scenario, ScenarioConfig, Topology};
@@ -25,14 +25,14 @@ fn main() {
 
     println!("\n$ping 192.168.0.2 round=1 length=32");
     ws.clear_transcript();
-    ws.ping(net, 1, 1, 32, None).unwrap();
+    ws.exec(net, CommandRequest::ping(1, 1, 32, None)).unwrap();
     for l in ws.transcript() {
         println!("{l}");
     }
 
     println!("\n$traceroute 192.168.0.4 round=1 length=32 port=10");
     ws.clear_transcript();
-    ws.traceroute(net, 3, 32, Port::GEOGRAPHIC).unwrap();
+    ws.exec(net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC)).unwrap();
     for l in ws.transcript() {
         println!("{l}");
     }
@@ -40,46 +40,46 @@ fn main() {
     println!("\n$neighborsetup");
     println!("$list quality");
     ws.clear_transcript();
-    ws.neighbor_list(net, true).unwrap();
+    ws.exec(net, CommandRequest::neighbor_list(true)).unwrap();
     for l in ws.transcript() {
         println!("{l}");
     }
 
     println!("\n$blacklist add 192.168.0.2");
     ws.clear_transcript();
-    ws.blacklist(net, 1, true).unwrap();
+    ws.exec(net, CommandRequest::blacklist(1, true)).unwrap();
     for l in ws.transcript() {
         println!("{l}");
     }
     println!("$blacklist remove 192.168.0.2");
     ws.clear_transcript();
-    ws.blacklist(net, 1, false).unwrap();
+    ws.exec(net, CommandRequest::blacklist(1, false)).unwrap();
     for l in ws.transcript() {
         println!("{l}");
     }
 
     println!("\n$update beaconperiod=1000ms");
     ws.clear_transcript();
-    ws.update_beacon(net, SimDuration::from_millis(1000)).unwrap();
+    ws.exec(net, CommandRequest::update_beacon(SimDuration::from_millis(1000))).unwrap();
     for l in ws.transcript() {
         println!("{l}");
     }
 
     println!("\n$getpower");
     ws.clear_transcript();
-    ws.get_power(net).unwrap();
+    ws.exec(net, CommandRequest::get_power()).unwrap();
     for l in ws.transcript() {
         println!("{l}");
     }
     println!("$setpower 25");
     ws.clear_transcript();
-    ws.set_power(net, 25).unwrap();
+    ws.exec(net, CommandRequest::set_power(25)).unwrap();
     for l in ws.transcript() {
         println!("{l}");
     }
     println!("$getchannel");
     ws.clear_transcript();
-    ws.get_channel(net).unwrap();
+    ws.exec(net, CommandRequest::get_channel()).unwrap();
     for l in ws.transcript() {
         println!("{l}");
     }

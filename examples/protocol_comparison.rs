@@ -12,7 +12,7 @@
 //! re-compilation." Here three protocols coexist on different ports and
 //! the same ping command measures each just by changing `port=`.
 
-use liteview_repro::liteview::CommandResult;
+use liteview_repro::liteview::{CommandRequest, CommandResult};
 use liteview_repro::lv_net::packet::Port;
 use liteview_repro::lv_testbed::scenario::{Protocols, Scenario, ScenarioConfig};
 use liteview_repro::lv_testbed::Topology;
@@ -58,7 +58,7 @@ fn main() {
         (Port::TREE, "collection tree (12)"),
     ] {
         s.net.counters.reset();
-        let exec = s.ws.ping(&mut s.net, 0, 1, 32, Some(port)).unwrap();
+        let exec = s.ws.exec(&mut s.net, CommandRequest::ping(0, 1, 32, Some(port))).unwrap();
         let pkts = s.net.counters.get("tx.data");
         match &exec.result {
             CommandResult::Ping(p) if p.received > 0 => {

@@ -9,7 +9,7 @@
 //! and pings the second — reproducing the paper's Section III.B.3
 //! sample session.
 
-use liteview_repro::liteview::{install_suite, Workstation};
+use liteview_repro::liteview::{install_suite, CommandRequest, Workstation};
 use liteview_repro::lv_kernel::Network;
 use liteview_repro::lv_radio::{Medium, Position, PropagationConfig};
 use liteview_repro::lv_sim::SimDuration;
@@ -37,7 +37,7 @@ fn main() {
 
     // ping 192.168.0.2 round=1 length=32
     println!("$ping 192.168.0.2 round=1 length=32");
-    let exec = ws.ping(&mut net, 1, 1, 32, None).expect("logged in");
+    let exec = ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).expect("logged in");
     for line in ws.transcript() {
         println!("{line}");
     }

@@ -14,6 +14,7 @@
 //! you can watch neighbor tables converge or links recover.
 
 use liteview_repro::liteview::shell::{parse_line, ShellInput, HELP};
+use liteview_repro::liteview::{Command, CommandRequest};
 use liteview_repro::lv_sim::SimDuration;
 use liteview_repro::lv_testbed::{Scenario, ScenarioConfig, Topology};
 use std::io::{BufRead, Write};
@@ -64,8 +65,14 @@ fn main() {
             Ok(ShellInput::Command(cmd)) => match cmd.resolve(&s.net) {
                 Err(e) => println!("{e}"),
                 Ok(command) => {
+                    // `survey` is the one verb aimed at the broadcast
+                    // group rather than the cd-ed node.
+                    let request = match command {
+                        Command::GroupStatus => CommandRequest::survey(),
+                        c => CommandRequest::new(c),
+                    };
                     s.ws.clear_transcript();
-                    match s.ws.exec(&mut s.net, command) {
+                    match s.ws.exec(&mut s.net, request) {
                         Err(e) => println!("{e:?}"),
                         Ok(_) => {
                             for l in s.ws.transcript() {

@@ -12,7 +12,7 @@
 //! the neighbor's advertised gradient), then breaks a link and watches
 //! the tree re-converge — without instrumenting the application at all.
 
-use liteview_repro::liteview::CommandResult;
+use liteview_repro::liteview::{CommandRequest, CommandResult};
 use liteview_repro::lv_kernel::{Network, Process, RxMeta, SysCtx};
 use liteview_repro::lv_net::packet::{NetPacket, Port};
 use liteview_repro::lv_sim::SimDuration;
@@ -116,7 +116,7 @@ fn main() {
     // the root's child shows gradient 0 at the root.
     s.ws.cd(&s.net, "192.168.0.2").unwrap();
     s.ws.clear_transcript();
-    s.ws.neighbor_list(&mut s.net, true).unwrap();
+    s.ws.exec(&mut s.net, CommandRequest::neighbor_list(true)).unwrap();
     println!("\n$cd /sn01/192.168.0.2 && list quality");
     for l in s.ws.transcript() {
         println!("{l}");
@@ -142,11 +142,10 @@ fn main() {
     println!("bounded version of distance-vector count-to-infinity):");
     print_tree(&s.net);
 
-    let exec = s.ws.exec_on(
-        &mut s.net,
-        1,
-        liteview_repro::liteview::Command::Status,
-    );
+    let exec = s
+        .ws
+        .exec_on(&mut s.net, 1, liteview_repro::liteview::Command::Status)
+        .unwrap();
     if let CommandResult::Status { neighbors, .. } = exec.result {
         println!("\nnode 192.168.0.2 now reports {neighbors} neighbor(s): its");
         println!("downstream child vanished from the table — the operator sees");

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the whole stack, from the propagation
 //! model up through the LiteView workstation, exercised together.
 
-use liteview_repro::liteview::{CommandResult, Workstation};
+use liteview_repro::liteview::{CommandRequest, CommandResult, Workstation};
 use liteview_repro::lv_net::packet::Port;
 use liteview_repro::lv_sim::SimDuration;
 use liteview_repro::lv_testbed::scenario::{Protocols, Scenario, ScenarioConfig};
@@ -35,7 +35,7 @@ fn thirty_node_testbed_boots_and_is_manageable() {
         .expect("bridge has at least one healthy neighbor");
     let name = s.net.names().name(target).unwrap().to_owned();
     s.ws.cd(&s.net, &name).unwrap();
-    let exec = s.ws.get_power(&mut s.net).unwrap();
+    let exec = s.ws.exec(&mut s.net, CommandRequest::get_power()).unwrap();
     assert_eq!(exec.result, CommandResult::Power(31));
 }
 
@@ -46,7 +46,7 @@ fn power_tuning_changes_measured_rssi() {
     let mut s = Scenario::build(cfg);
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
     let rssi_at = |s: &mut Scenario| -> i8 {
-        let exec = s.ws.ping(&mut s.net, 1, 1, 32, None).unwrap();
+        let exec = s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None)).unwrap();
         match exec.result {
             CommandResult::Ping(p) => p.rounds[0].rssi_fwd,
             other => panic!("{other:?}"),
@@ -55,9 +55,9 @@ fn power_tuning_changes_measured_rssi() {
     let before = rssi_at(&mut s);
     // Turn the whole deployment down to power level 7 (−15 dBm) via the
     // management plane itself.
-    s.ws.set_power(&mut s.net, 7).unwrap();
+    s.ws.exec(&mut s.net, CommandRequest::set_power(7)).unwrap();
     s.ws.cd(&s.net, "192.168.0.2").unwrap();
-    s.ws.set_power(&mut s.net, 7).unwrap();
+    s.ws.exec(&mut s.net, CommandRequest::set_power(7)).unwrap();
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
     let after = rssi_at(&mut s);
     // 0 dBm → −15 dBm should drop the reading by roughly 15 units.
@@ -71,14 +71,14 @@ fn channel_separation_then_reunion() {
     let mut s = Scenario::build(cfg);
     s.ws.cd(&s.net, "192.168.0.2").unwrap();
     // Move the far node to channel 20; it keeps working there.
-    let exec = s.ws.set_channel(&mut s.net, 20).unwrap();
+    let exec = s.ws.exec(&mut s.net, CommandRequest::set_channel(20)).unwrap();
     assert_eq!(exec.result, CommandResult::Ok);
     // The workstation (bridge still on 17) can no longer reach it.
-    let exec = s.ws.get_power(&mut s.net).unwrap();
+    let exec = s.ws.exec(&mut s.net, CommandRequest::get_power()).unwrap();
     assert_eq!(exec.result, CommandResult::Timeout);
     // Retune the bridge node's radio too, contact restored.
     s.net.node_mut(0).channel = liteview_repro::lv_radio::Channel::new(20).unwrap();
-    let exec = s.ws.get_power(&mut s.net).unwrap();
+    let exec = s.ws.exec(&mut s.net, CommandRequest::get_power()).unwrap();
     assert_eq!(exec.result, CommandResult::Power(31));
 }
 
@@ -95,7 +95,7 @@ fn diagnosis_workflow_end_to_end() {
     s.net.run_for(SimDuration::from_secs(30));
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
     // Traceroute stops before the destination.
-    let exec = s.ws.traceroute(&mut s.net, 4, 32, Port::GEOGRAPHIC).unwrap();
+    let exec = s.ws.exec(&mut s.net, CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC)).unwrap();
     let CommandResult::Traceroute(t) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -105,7 +105,7 @@ fn diagnosis_workflow_end_to_end() {
     // Repair and verify.
     failures::repair_link(&mut s.net, 3, 2);
     s.net.run_for(SimDuration::from_secs(20));
-    let exec = s.ws.traceroute(&mut s.net, 4, 32, Port::GEOGRAPHIC).unwrap();
+    let exec = s.ws.exec(&mut s.net, CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC)).unwrap();
     let CommandResult::Traceroute(t) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -168,11 +168,11 @@ fn flooding_survives_where_geographic_cannot() {
     // is closer (10 vs 19 units): greedy works here. Instead probe the
     // reverse property: both deliver; flooding costs more packets.
     net.counters.reset();
-    let exec = ws.ping(&mut net, 2, 1, 32, Some(Port::GEOGRAPHIC)).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::ping(2, 1, 32, Some(Port::GEOGRAPHIC))).unwrap();
     let geo_pkts = net.counters.get("tx.data");
     let geo_ok = matches!(&exec.result, CommandResult::Ping(p) if p.received == 1);
     net.counters.reset();
-    let exec = ws.ping(&mut net, 2, 1, 32, Some(Port::FLOODING)).unwrap();
+    let exec = ws.exec(&mut net, CommandRequest::ping(2, 1, 32, Some(Port::FLOODING))).unwrap();
     let flood_pkts = net.counters.get("tx.data");
     let flood_ok = matches!(&exec.result, CommandResult::Ping(p) if p.received == 1);
     assert!(geo_ok && flood_ok, "both protocols must deliver");
@@ -188,7 +188,7 @@ fn seeded_runs_are_bit_identical() {
         let cfg = ScenarioConfig::new(Topology::eight_hop_corridor(), seed);
         let mut s = Scenario::build(cfg);
         s.ws.cd(&s.net, "192.168.0.1").unwrap();
-        let exec = s.ws.traceroute(&mut s.net, 8, 32, Port::GEOGRAPHIC).unwrap();
+        let exec = s.ws.exec(&mut s.net, CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC)).unwrap();
         format!("{:?} :: {:?}", exec.result, s.net.counters.iter().collect::<Vec<_>>())
     };
     assert_eq!(run(1234), run(1234));

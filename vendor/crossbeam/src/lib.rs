@@ -1,0 +1,100 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the scoped-thread API (`crossbeam::scope`, `Scope::spawn`,
+//! `ScopedJoinHandle::join`) backed by `std::thread::scope`, which has
+//! been stable since Rust 1.63. Like crossbeam, the closure given to
+//! [`Scope::spawn`] receives the scope again so spawned threads can
+//! spawn siblings, and [`scope`] returns `Err` if any thread panicked.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope for spawning threads that may borrow from the caller's stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread to finish, returning its result or the
+    /// panic payload if it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. Matching crossbeam's
+    /// signature, the closure receives the scope as its argument.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = Scope { inner: self.inner };
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Create a scope for spawning threads that borrow from the enclosing
+/// stack frame. All spawned threads are joined before this returns.
+/// Returns `Err` with the panic payload if the closure or any
+/// unjoined spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+/// Compatibility alias: crossbeam also exposes the scoped API under
+/// `crossbeam::thread`.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u32, 2, 3, 4];
+        let total = super::scope(|s| {
+            let mid = data.len() / 2;
+            let (lo, hi) = data.split_at(mid);
+            let h = s.spawn(move |_| lo.iter().sum::<u32>());
+            let hi_sum = hi.iter().sum::<u32>();
+            h.join().unwrap() + hi_sum
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_receives_scope() {
+        let n = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

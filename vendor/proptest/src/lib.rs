@@ -1,0 +1,689 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the [`proptest!`] macro with optional `#![proptest_config(...)]`,
+//! `pat in strategy` arguments, `prop_assert*` macros, [`prelude`]
+//! exports (`any`, `Just`, `Strategy::prop_map`, `prop_oneof!`),
+//! integer/float range strategies, tuple strategies, and
+//! [`collection::vec`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics
+//! with the deterministic case seed so it can be re-run. Case
+//! generation is fully deterministic per test (seeded from the test
+//! name), which suits this workspace's reproducibility-first style.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draw one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between several strategies of the same value
+    /// type; backs the `prop_oneof!` macro.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build a union over `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// String-pattern strategies: like real proptest, a `&str` is
+    /// interpreted as a regex and generates matching strings. Supports
+    /// the subset this workspace uses: literal characters, `.`,
+    /// character classes `[a-z0-9.]`, and `{n}` / `{lo,hi}` / `*` / `+`
+    /// / `?` quantifiers.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            let mut chars = self.chars().peekable();
+            while let Some(c) = chars.next() {
+                let atom = match c {
+                    '.' => Atom::Any,
+                    '[' => {
+                        let mut ranges = Vec::new();
+                        let mut members: Vec<char> = Vec::new();
+                        while let Some(&m) = chars.peek() {
+                            chars.next();
+                            if m == ']' {
+                                break;
+                            }
+                            members.push(m);
+                        }
+                        let mut i = 0;
+                        while i < members.len() {
+                            if i + 2 < members.len() && members[i + 1] == '-' {
+                                ranges.push((members[i], members[i + 2]));
+                                i += 3;
+                            } else {
+                                ranges.push((members[i], members[i]));
+                                i += 1;
+                            }
+                        }
+                        Atom::Class(ranges)
+                    }
+                    '\\' => Atom::Lit(chars.next().expect("dangling escape in pattern")),
+                    lit => Atom::Lit(lit),
+                };
+                let (lo, hi) = match chars.peek() {
+                    Some('{') => {
+                        chars.next();
+                        let mut spec = String::new();
+                        for m in chars.by_ref() {
+                            if m == '}' {
+                                break;
+                            }
+                            spec.push(m);
+                        }
+                        match spec.split_once(',') {
+                            Some((a, b)) => (
+                                a.trim().parse::<usize>().expect("bad quantifier"),
+                                b.trim().parse::<usize>().expect("bad quantifier"),
+                            ),
+                            None => {
+                                let n = spec.trim().parse::<usize>().expect("bad quantifier");
+                                (n, n)
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        (0, 8)
+                    }
+                    Some('+') => {
+                        chars.next();
+                        (1, 8)
+                    }
+                    Some('?') => {
+                        chars.next();
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                };
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(atom.sample(rng));
+                }
+            }
+            out
+        }
+    }
+
+    enum Atom {
+        Any,
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    impl Atom {
+        fn sample(&self, rng: &mut TestRng) -> char {
+            match self {
+                Atom::Lit(c) => *c,
+                // `.`: mostly printable ASCII, occasionally multibyte,
+                // never a newline (matching regex `.` semantics).
+                Atom::Any => {
+                    const EXOTIC: [char; 6] = ['\t', 'é', 'λ', '中', '🦀', '\u{7f}'];
+                    if rng.below(20) == 0 {
+                        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                    } else {
+                        char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+                    }
+                }
+                Atom::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|&(a, b)| (b as u64).saturating_sub(a as u64) + 1)
+                        .sum();
+                    let mut k = rng.below(total.max(1));
+                    for &(a, b) in ranges {
+                        let span = (b as u64) - (a as u64) + 1;
+                        if k < span {
+                            return char::from_u32(a as u32 + k as u32).unwrap();
+                        }
+                        k -= span;
+                    }
+                    ranges.first().map(|&(a, _)| a).unwrap_or('a')
+                }
+            }
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    Strategy::generate(&(self.start..=<$t>::MAX), rng)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.start + (rng.unit() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.start() + (rng.unit() as $t) * (self.end() - self.start())
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($t:ident),+)),+ $(,)?) => {$(
+            #[allow(non_snake_case)]
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($t,)+) = self;
+                    ($($t.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F),
+        (A, B, C, D, E, F, G),
+        (A, B, C, D, E, F, G, H),
+        (A, B, C, D, E, F, G, H, I),
+        (A, B, C, D, E, F, G, H, I, J),
+    );
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and the [`any`] entry point.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive length range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generate vectors whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case generation and failure reporting.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case (from a `prop_assert*` macro).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Record a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Deterministic generator backing all strategies (splitmix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded constructor; equal seeds yield equal streams.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drives the per-case loop for one property.
+    pub struct TestRunner {
+        cases: u32,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// Create a runner for the named property.
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and
+            // platforms so failures reproduce.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRunner {
+                cases: config.cases,
+                seed: h,
+            }
+        }
+
+        /// How many cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// Fresh deterministic rng for case number `case`.
+        pub fn case_rng(&self, case: u32) -> TestRng {
+            TestRng::new(self.seed ^ ((case as u64) << 32 | 0x5bd1_e995))
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.case_rng(case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property {} failed at case {}: {}", stringify!($name), case, e);
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: {:?} != {:?}",
+            lhs,
+            rhs
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "{}: {:?} != {:?}",
+            format!($($fmt)+),
+            lhs,
+            rhs
+        );
+    }};
+}
+
+/// Assert two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: {:?} == {:?}",
+            lhs,
+            rhs
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "{}: {:?} == {:?}",
+            format!($($fmt)+),
+            lhs,
+            rhs
+        );
+    }};
+}
+
+/// Uniform choice between strategy arms of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(10u8..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let w = Strategy::generate(&(-5i8..=5), &mut rng);
+            assert!((-5..=5).contains(&w));
+            let x = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::test_runner::TestRng::new(9);
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(any::<u8>(), 3..=6), &mut rng);
+            assert!((3..=6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let r1 = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4), "x");
+        let r2 = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4), "x");
+        assert_eq!(r1.case_rng(0).next_u64(), r2.case_rng(0).next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(
+            a in any::<u16>(),
+            v in crate::collection::vec(any::<u8>(), 0..8),
+            pick in prop_oneof![Just(1u8), any::<u8>().prop_map(|x| x | 1)],
+        ) {
+            prop_assert!(v.len() < 8);
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(pick & 1, 0u8, "union arms always odd");
+        }
+    }
+}

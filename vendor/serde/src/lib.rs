@@ -1,0 +1,345 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the minimal serialization framework the workspace needs:
+//! a JSON-shaped [`Value`] data model, [`Serialize`]/[`Deserialize`]
+//! traits that convert through it, and `#[derive(Serialize,
+//! Deserialize)]` macros (re-exported from `serde_derive`) covering
+//! plain structs, tuple structs, and enums with unit/tuple/struct
+//! variants, plus the `#[serde(default)]` and `#[serde(default =
+//! "path")]` field attributes.
+//!
+//! The API is intentionally a small subset of real serde's: enough for
+//! this workspace's row types and configs, nothing more. Swapping the
+//! real crate back in requires no source changes in the workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every serializable type lowers to.
+///
+/// Mirrors the JSON data model (plus a distinct `U128` so histogram
+/// accumulators round-trip losslessly).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A large unsigned integer (histogram sums).
+    U128(u128),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up `key` in a `Map` value (`None` for other variants).
+    pub fn map_get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Convenience constructor used by the derive expansion.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+/// Types that can lower themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from the data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls -------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    Value::U128(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    ref other => Err(DeError::msg(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    ref other => Err(DeError::msg(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::U128(*self)
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::U128(n) => Ok(n),
+            Value::U64(n) => Ok(n as u128),
+            ref other => Err(DeError::msg(format!("expected integer, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::F64(x) => Ok(x as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    // JSON has no NaN literal; non-finite floats travel as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    ref other => Err(DeError::msg(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: ToString + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) => {
+                        let mut it = items.iter();
+                        let tuple = ($(
+                            $t::from_value(
+                                it.next().ok_or_else(|| DeError::msg("tuple too short"))?,
+                            )?,
+                        )+);
+                        if it.next().is_some() {
+                            return Err(DeError::msg("tuple too long"));
+                        }
+                        Ok(tuple)
+                    }
+                    other => Err(DeError::msg(format!("expected sequence, got {other:?}"))),
+                }
+            }
+        }
+    )+};
+}
+ser_tuple!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u8::from_value(&5u8.to_value()).unwrap(), 5);
+        assert_eq!(i8::from_value(&(-3i8).to_value()).unwrap(), -3);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+        let v: Vec<u16> = Vec::from_value(&vec![1u16, 2].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2]);
+        let t: (u8, f64) = Deserialize::from_value(&(7u8, 1.5f64).to_value()).unwrap();
+        assert_eq!(t, (7, 1.5));
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<u8> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::from_value(&Value::U64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn map_get_finds_fields() {
+        let m = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(m.map_get("a"), Some(&Value::U64(1)));
+        assert_eq!(m.map_get("b"), None);
+    }
+}

@@ -1,0 +1,535 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline)
+//! covering the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (any arity; one-field newtypes serialize transparently),
+//! * unit structs,
+//! * enums whose variants are unit, tuple, or struct-like,
+//! * the `#[serde(default)]` and `#[serde(default = "path")]` field
+//!   attributes (deserialization only).
+//!
+//! Generics are not supported — none of the workspace's serialized
+//! types are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, PartialEq)]
+enum FieldDefault {
+    /// Field is required.
+    None,
+    /// `#[serde(default)]` — use `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Input {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Extract `default` configuration from one `#[serde(...)]` attribute
+/// group's inner tokens.
+fn parse_serde_attr(tokens: Vec<TokenTree>, out: &mut FieldDefault) {
+    let mut iter = tokens.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "default" {
+                // Either bare `default` or `default = "path"`.
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '=' {
+                        iter.next();
+                        if let Some(TokenTree::Literal(lit)) = iter.next() {
+                            let s = lit.to_string();
+                            let path = s.trim_matches('"').to_owned();
+                            *out = FieldDefault::Path(path);
+                            continue;
+                        }
+                        panic!("#[serde(default = ...)] expects a string literal");
+                    }
+                }
+                *out = FieldDefault::Trait;
+            }
+        }
+    }
+}
+
+/// Consume leading attributes, returning any `#[serde(...)]` default
+/// configuration found among them.
+fn skip_attrs(tokens: &mut std::iter::Peekable<std::vec::IntoIter<TokenTree>>) -> FieldDefault {
+    let mut default = FieldDefault::None;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(TokenTree::Ident(id)) = inner.first() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                    parse_serde_attr(
+                                        args.stream().into_iter().collect(),
+                                        &mut default,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    other => panic!("expected [...] after #, got {other:?}"),
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Consume an optional visibility modifier (`pub`, `pub(...)`).
+fn skip_vis(tokens: &mut std::iter::Peekable<std::vec::IntoIter<TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parse the named fields inside a brace group.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = group.into_iter().collect::<Vec<_>>().into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        let default = skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return fields,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field {name}, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    match p.as_char() {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth -= 1,
+                        ',' if angle_depth == 0 => {
+                            tokens.next();
+                            break;
+                        }
+                        _ => {}
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+}
+
+/// Count the fields of a tuple struct / tuple variant (top-level commas
+/// at angle-bracket depth 0; trailing commas tolerated).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut tokens_since_comma = false;
+    let mut angle_depth = 0i32;
+    for tt in group {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if tokens_since_comma {
+                        count += 1;
+                    }
+                    tokens_since_comma = false;
+                }
+                _ => tokens_since_comma = true,
+            },
+            _ => tokens_since_comma = true,
+        }
+    }
+    if tokens_since_comma {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().collect::<Vec<_>>().into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return variants;
+        }
+        let _ = skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return variants,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip optional discriminant and the separating comma.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                    tokens.next();
+                    break;
+                }
+                None => break,
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().collect::<Vec<_>>().into_iter().peekable();
+    let _ = skip_attrs(&mut tokens);
+    skip_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) stand-in does not support generics on {name}");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for {other}"),
+    }
+}
+
+// ---- Serialize -------------------------------------------------------
+
+/// Derive the stand-in `serde::Serialize` (lowering to `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Serialize::to_value(x0))]),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                                     ::std::string::String::from(\"{vname}\"), \
+                                     ::serde::Value::Seq(::std::vec![{items}]))]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0})),",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                                     ::std::string::String::from(\"{vname}\"), \
+                                     ::serde::Value::Map(::std::vec![{entries}]))]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+// ---- Deserialize -----------------------------------------------------
+
+fn field_expr(owner: &str, f: &Field, source: &str) -> String {
+    let missing = match &f.default {
+        FieldDefault::None => format!(
+            "return ::std::result::Result::Err(::serde::DeError::msg(\
+                 \"missing field `{}` in {owner}\"))",
+            f.name
+        ),
+        FieldDefault::Trait => "::std::default::Default::default()".to_owned(),
+        FieldDefault::Path(path) => format!("{path}()"),
+    };
+    format!(
+        "{0}: match ::serde::Value::map_get({source}, \"{0}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }},",
+        f.name
+    )
+}
+
+/// Derive the stand-in `serde::Deserialize` (rebuilding from `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::NamedStruct { name, fields } => {
+            let inits: String = fields.iter().map(|f| field_expr(name, f, "v")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if !matches!(v, ::serde::Value::Map(_)) {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::msg(\
+                                 \"expected map for {name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {arity} =>\n\
+                                 ::std::result::Result::Ok({name}({items})),\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                                 \"expected {arity}-element sequence for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                                 {name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: String = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match inner {{\n\
+                                     ::serde::Value::Seq(items) if items.len() == {n} =>\n\
+                                         ::std::result::Result::Ok({name}::{vname}({items})),\n\
+                                     _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                                         \"expected {n}-element sequence for {name}::{vname}\")),\n\
+                                 }},\n"
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| field_expr(&format!("{name}::{vname}"), f, "inner"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok(\
+                                     {name}::{vname} {{ {inits} }}),\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                     format!(\"unknown variant {{other}} of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                         format!(\"unknown variant {{other}} of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                                 \"expected variant tag for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl parses")
+}

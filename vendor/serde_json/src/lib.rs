@@ -1,0 +1,418 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes any [`serde::Serialize`] type to compact JSON and parses
+//! JSON text back through the [`serde::Value`] data model. Matches real
+//! serde_json's observable behaviour for the subset this workspace
+//! uses: compact output with `,`/`:` separators, non-finite floats as
+//! `null`, and floats always printed with a decimal point or exponent.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Result alias matching real serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+///
+/// Infallible for the value model this crate supports, but keeps the
+/// `Result` signature so call sites match real serde_json.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serialize `value` to a human-indented JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Parse a JSON string into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::U128(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_pretty(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_value_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value_pretty(out, val, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(out, other),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity literals; real serde_json errors here,
+        // but for experiment rows a null cell is the useful behaviour.
+        out.push_str("null");
+        return;
+    }
+    if x == x.trunc() && x.abs() < 1e16 {
+        // Keep a decimal point so the value round-trips as a float.
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let start = self.pos + 1;
+                            let hex = self
+                                .bytes
+                                .get(start..start + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error("bad escape".into())),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error(format!("invalid number '{text}'")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error(format!("invalid number '{text}'")))
+        } else if let Ok(n) = text.parse::<u64>() {
+            Ok(Value::U64(n))
+        } else {
+            text.parse::<u128>()
+                .map(Value::U128)
+                .map_err(|_| Error(format!("invalid number '{text}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_compact_json() {
+        let v = Value::Map(vec![
+            ("hop".into(), Value::U64(1)),
+            ("delay_ms".into(), Value::F64(2.0)),
+            ("name".into(), Value::Str("a\"b".into())),
+            ("seq".into(), Value::Seq(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"hop":1,"delay_ms":2.0,"name":"a\"b","seq":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn parses_round_trip() {
+        let text = r#"{"a": [1, -2, 3.5], "b": {"c": "x\ny"}, "d": null}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(
+            v.map_get("a"),
+            Some(&Value::Seq(vec![
+                Value::U64(1),
+                Value::I64(-2),
+                Value::F64(3.5)
+            ]))
+        );
+        assert_eq!(
+            v.map_get("b").unwrap().map_get("c"),
+            Some(&Value::Str("x\ny".into()))
+        );
+        assert_eq!(v.map_get("d"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn pretty_prints() {
+        let v = Value::Map(vec![("a".into(), Value::Seq(vec![Value::U64(1)]))]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+}
