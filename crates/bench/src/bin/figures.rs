@@ -5,6 +5,7 @@
 //! cargo run -p lv-bench --bin figures --release -- fig5 --seed 7
 //! cargo run -p lv-bench --bin figures --release -- fig7 --json
 //! cargo run -p lv-bench --bin figures --release -- fig5agg --trials 32 --workers 4
+//! cargo run -p lv-bench --bin figures --release -- --report
 //! ```
 //!
 //! Experiment ids follow `DESIGN.md` §4: fig5, fig6, fig7, tresp,
@@ -13,6 +14,13 @@
 //! `fig7agg`, `linkcharagg`) reporting mean ± 95% CI over `--trials`
 //! independent trials run on `--workers` threads, plus `failures` for
 //! the failure-injection sweep.
+//!
+//! `--report` replaces the figure run with a flight-recorder session:
+//! it drives a diagnosis sequence (ping + traceroute) over the 8-hop
+//! corridor and prints the network-wide [`ObservabilityReport`] as
+//! JSON (DESIGN.md §9).
+//!
+//! [`ObservabilityReport`]: liteview::ObservabilityReport
 
 use lv_bench::{table, Line};
 use lv_testbed::experiments as exp;
@@ -25,6 +33,7 @@ struct Args {
     trials: usize,
     workers: Option<usize>,
     json: bool,
+    report: bool,
 }
 
 impl Args {
@@ -44,9 +53,11 @@ fn parse_args() -> Args {
     let mut trials = 8usize;
     let mut workers = None;
     let mut json = false;
+    let mut report = false;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
+            "--report" => report = true,
             "--seed" => {
                 seed = argv
                     .next()
@@ -70,7 +81,10 @@ fn parse_args() -> Args {
             other => what.push(other.to_owned()),
         }
     }
-    if what.is_empty() || what.iter().any(|w| w == "all") {
+    if report {
+        // `--report` is a session, not a figure: an empty experiment
+        // list stays empty instead of expanding to `all`.
+    } else if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
             "fig5", "fig6", "fig7", "tresp", "tping", "tpad", "tfoot", "tovh1", "linkchar",
             "ablations", "fig5agg", "fig6agg", "fig7agg", "linkcharagg", "failures",
@@ -85,11 +99,15 @@ fn parse_args() -> Args {
         trials,
         workers,
         json,
+        report,
     }
 }
 
 fn main() {
     let args = parse_args();
+    if args.report {
+        report(args.seed);
+    }
     for what in &args.what {
         match what.as_str() {
             "fig5" => fig5(args.seed, args.json),
@@ -110,6 +128,30 @@ fn main() {
             other => eprintln!("unknown experiment: {other}"),
         }
     }
+}
+
+/// `--report`: drive a diagnosis session over the 8-hop corridor and
+/// print the network-wide flight-recorder report as JSON.
+fn report(seed: u64) {
+    use liteview::{CommandRequest, ObservabilityReport};
+    use lv_net::packet::Port;
+    use lv_testbed::{Scenario, ScenarioConfig, Topology};
+
+    let mut s = Scenario::build(ScenarioConfig::new(Topology::eight_hop_corridor(), seed));
+    s.ws.cd(&s.net, "192.168.0.1").expect("bridge exists");
+    let far = (s.net.node_count() - 1) as u16;
+    let _ = s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None));
+    let _ = s
+        .ws
+        .exec(&mut s.net, CommandRequest::traceroute(far, 32, Port::GEOGRAPHIC));
+    let json = s.ws.report(&s.net).to_json();
+    // The emitted document must parse back — the report is an exchange
+    // format, not just a pretty-printer.
+    assert!(
+        ObservabilityReport::from_json(&json).is_some(),
+        "report JSON does not round-trip"
+    );
+    println!("{json}");
 }
 
 fn fig5(seed: u64, json: bool) {

@@ -6,9 +6,10 @@
 //! round=1 length=32 port=10`, `neighborsetup`/`list`/`blacklist`/
 //! `update`, and the radio power/channel utilities).
 
+use crate::observe::NodeDelta;
 use crate::wire::{HopRecord, PingRound, WireLogEntry, WireNeighbor};
 use lv_net::packet::Port;
-use lv_sim::{SimDuration, SimTime};
+use lv_sim::{Counters, SimDuration, SimTime, TraceEvent};
 
 /// The interpreter's listening port on the workstation bridge node.
 pub const WORKSTATION_PORT: Port = Port(4);
@@ -246,6 +247,14 @@ pub struct Execution {
     pub response_delay: SimDuration,
     /// The result.
     pub result: CommandResult,
+    /// Causal event timeline: every trace event the network emitted
+    /// during the command window (empty if the trace sink is disabled).
+    pub timeline: Vec<TraceEvent>,
+    /// Global counter movement during the command window.
+    pub counter_delta: Counters,
+    /// Per-node counter movement during the window — for a multi-hop
+    /// command this is the per-hop cost profile along the path.
+    pub node_deltas: Vec<NodeDelta>,
 }
 
 #[cfg(test)]

@@ -52,6 +52,7 @@
 pub mod commands;
 pub mod controller;
 pub mod interpreter;
+pub mod observe;
 pub mod output;
 pub mod ping;
 pub mod protocol;
@@ -65,6 +66,7 @@ pub use commands::{
     WORKSTATION_PORT,
 };
 pub use controller::RuntimeController;
+pub use observe::{ExecutionRecord, NodeDelta, ObservabilityReport};
 pub use ping::PingProcess;
 pub use traceroute::{TrHopProcess, TrSourceProcess};
 pub use workstation::{CommandRequest, ExecError, ExecTarget, Workstation};

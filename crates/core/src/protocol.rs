@@ -347,6 +347,32 @@ mod tests {
     }
 
     #[test]
+    fn abort_is_emitted_exactly_once() {
+        // Drive the timer well past the budget: the Abort step must
+        // appear exactly once, the machine is finished from that point
+        // on, and every later stimulus is ignored.
+        let mut tx = BatchSender::new(1, chunks(3));
+        tx.start();
+        let mut aborts = 0;
+        for i in 1..=MAX_TIMEOUTS * 3 {
+            let steps = tx.on_timeout();
+            aborts += steps.iter().filter(|s| **s == SendStep::Abort).count();
+            if i >= MAX_TIMEOUTS {
+                assert!(tx.is_finished(), "finished from timeout {i}");
+                if i > MAX_TIMEOUTS {
+                    assert!(steps.is_empty(), "post-abort timeout {i} emitted {steps:?}");
+                }
+            } else {
+                assert!(!tx.is_finished(), "finished early at timeout {i}");
+            }
+        }
+        assert_eq!(aborts, 1);
+        // A late ack cannot resurrect the transfer either.
+        assert!(tx.on_ack(&[]).is_empty());
+        assert!(tx.is_finished());
+    }
+
+    #[test]
     fn ack_resets_timeout_budget() {
         let mut tx = BatchSender::new(1, chunks(8));
         tx.start();

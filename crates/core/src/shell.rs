@@ -92,6 +92,21 @@ pub enum ShellInput {
     /// `map` — draw the deployment (REPL-only verb; rendering lives in
     /// `lv-testbed`).
     Map,
+    /// `stats [name]` — one node's (or every node's) flight-recorder
+    /// counters (REPL-only verb; reads simulator state directly).
+    Stats {
+        /// Node name, or `None` for all nodes.
+        node: Option<String>,
+    },
+    /// `trace [name]` — dump the retained event timeline, optionally
+    /// filtered to one node (REPL-only verb).
+    TraceDump {
+        /// Node name filter, or `None` for the whole network.
+        node: Option<String>,
+    },
+    /// `report` — export the network-wide observability report as JSON
+    /// (REPL-only verb).
+    Report,
     /// A node-targeted command.
     Command(ShellCommand),
     /// Empty line / comment.
@@ -159,6 +174,13 @@ pub fn parse_line(line: &str) -> Result<ShellInput, ParseError> {
         }
         "pwd" => Ok(ShellInput::Pwd),
         "map" => Ok(ShellInput::Map),
+        "stats" => Ok(ShellInput::Stats {
+            node: rest.first().map(|s| s.to_string()),
+        }),
+        "trace" => Ok(ShellInput::TraceDump {
+            node: rest.first().map(|s| s.to_string()),
+        }),
+        "report" => Ok(ShellInput::Report),
         "help" | "?" => Ok(ShellInput::Help),
         "quit" | "exit" => Ok(ShellInput::Quit),
         "run" => {
@@ -335,6 +357,9 @@ LiteView shell commands:
   readlog [n]                    fetch the node's event log
   run <seconds>                  advance simulated time
   map                            draw the deployment and its links
+  stats [name]                   flight-recorder counters per node
+  trace [name]                   dump the retained event timeline
+  report                         export the observability report (JSON)
   help                           this text
   quit                           leave the shell";
 
@@ -450,6 +475,31 @@ mod tests {
         assert_eq!(parse_line("").unwrap(), ShellInput::Nothing);
         assert_eq!(parse_line("# comment").unwrap(), ShellInput::Nothing);
         assert!(parse_line("frobnicate").is_err());
+    }
+
+    #[test]
+    fn flight_recorder_verbs() {
+        assert_eq!(
+            parse_line("stats").unwrap(),
+            ShellInput::Stats { node: None }
+        );
+        assert_eq!(
+            parse_line("stats 192.168.0.2").unwrap(),
+            ShellInput::Stats {
+                node: Some("192.168.0.2".into())
+            }
+        );
+        assert_eq!(
+            parse_line("trace").unwrap(),
+            ShellInput::TraceDump { node: None }
+        );
+        assert_eq!(
+            parse_line("trace 192.168.0.3").unwrap(),
+            ShellInput::TraceDump {
+                node: Some("192.168.0.3".into())
+            }
+        );
+        assert_eq!(parse_line("report").unwrap(), ShellInput::Report);
     }
 
     #[test]

@@ -12,17 +12,22 @@ use crate::commands::{
     Command, CommandResult, Execution, PingOutcome, TraceHop, TraceOutcome, GROUP_TARGET,
 };
 use crate::interpreter::{Interpreter, QueuedCommand, SharedWsState, WsState, KICK};
+use crate::observe::{NodeDelta, ObservabilityReport};
 use crate::output;
 use crate::wire::MgmtReply;
 use lv_kernel::{shell_path, Network};
 use lv_net::packet::Port;
 use lv_net::ports::ProcessId;
-use lv_sim::{SimDuration, SimTime};
+use lv_sim::{Counters, SimDuration, SimTime, Trace, TraceLevel};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Simulation slice per progress check while waiting for replies.
 const POLL_SLICE: SimDuration = SimDuration::from_millis(5);
+
+/// Ring-buffer capacity of the trace sink [`Workstation::install`]
+/// enables when the network has none.
+const FLIGHT_RECORDER_CAPACITY: usize = 8192;
 
 /// The workstation attached (one hop) to a bridge mote.
 pub struct Workstation {
@@ -32,6 +37,7 @@ pub struct Workstation {
     cwd: Option<u16>,
     next_req: u8,
     transcript: Vec<String>,
+    history: Vec<Execution>,
 }
 
 /// Errors from the shell-like surface.
@@ -214,7 +220,15 @@ impl Workstation {
     /// Install the command interpreter on `bridge` and return the
     /// driver. The LiteView runtime controller must be installed
     /// separately on the managed nodes (see [`crate::install_suite`]).
+    ///
+    /// Also arms the flight recorder: if the network has no trace sink,
+    /// a packet-level ring buffer is enabled so every subsequent
+    /// [`Execution`] carries its causal event timeline. Pre-configured
+    /// sinks (any level) are left untouched.
     pub fn install(net: &mut Network, bridge: u16) -> Workstation {
+        if !net.trace.accepts(TraceLevel::Info) {
+            net.trace = Trace::enabled(TraceLevel::Packet, FLIGHT_RECORDER_CAPACITY);
+        }
         let state: SharedWsState = Rc::new(RefCell::new(WsState::default()));
         let pid = net
             .spawn_process(bridge, Box::new(Interpreter::new(state.clone())), vec![])
@@ -228,6 +242,7 @@ impl Workstation {
             cwd: None,
             next_req: 1,
             transcript: Vec::new(),
+            history: Vec::new(),
         }
     }
 
@@ -268,6 +283,24 @@ impl Workstation {
         self.transcript.clear();
     }
 
+    /// Every execution this workstation has driven, in issue order.
+    pub fn executions(&self) -> &[Execution] {
+        &self.history
+    }
+
+    /// Forget the execution history (the transcript is unaffected).
+    pub fn clear_history(&mut self) {
+        self.history.clear();
+    }
+
+    /// Capture the network-wide flight recorder: per-node health pages,
+    /// global counters, the event timeline, and a record per command
+    /// executed so far. JSON-exportable via
+    /// [`ObservabilityReport::to_json`].
+    pub fn report(&self, net: &Network) -> ObservabilityReport {
+        ObservabilityReport::capture(net, &self.history)
+    }
+
     fn alloc_req(&mut self) -> u8 {
         let r = self.next_req;
         self.next_req = self.next_req.wrapping_add(1).max(1);
@@ -306,6 +339,16 @@ impl Workstation {
         self.exec(net, CommandRequest::new(command).on(target))
     }
 
+    /// Merged MAC + network-layer counters of one node, as a baseline
+    /// or endpoint for per-command deltas.
+    fn node_counters(net: &Network, id: u16) -> Counters {
+        let n = net.node(id);
+        let mut c = Counters::new();
+        c.merge(n.mac.counters());
+        c.merge(n.stack.counters());
+        c
+    }
+
     /// Drive one validated command through the interpreter.
     fn dispatch(&mut self, net: &mut Network, target: u16, command: Command) -> Execution {
         let req_id = self.alloc_req();
@@ -319,6 +362,12 @@ impl Workstation {
             st.current = None;
         }
         let issued_at = net.now();
+        // Flight-recorder baselines: global and per-node counters at
+        // issue time, so the execution can report exactly what moved.
+        let global_baseline = net.counters.clone();
+        let node_baselines: Vec<Counters> = (0..net.node_count() as u16)
+            .map(|id| Self::node_counters(net, id))
+            .collect();
         net.poke(self.bridge, self.pid, KICK);
         let window = command.window();
         let deadline = issued_at + window + command.grace();
@@ -329,9 +378,23 @@ impl Workstation {
                 break;
             }
         }
-        let execution = self.collect(net, target, command, issued_at, window);
+        let mut execution = self.collect(net, target, command, issued_at, window);
+        execution.timeline = net.trace.events_since(issued_at).cloned().collect();
+        execution.counter_delta = net.counters.diff(&global_baseline);
+        execution.node_deltas = node_baselines
+            .iter()
+            .enumerate()
+            .filter_map(|(id, baseline)| {
+                let delta = Self::node_counters(net, id as u16).diff(baseline);
+                (!delta.is_empty()).then_some(NodeDelta {
+                    node: id as u16,
+                    counters: delta,
+                })
+            })
+            .collect();
         self.transcript
             .extend(output::render(net, &execution));
+        self.history.push(execution.clone());
         execution
     }
 
@@ -421,6 +484,9 @@ impl Workstation {
             issued_at,
             response_delay,
             result,
+            timeline: Vec::new(),
+            counter_delta: Counters::new(),
+            node_deltas: Vec::new(),
         }
     }
 

@@ -618,6 +618,92 @@ fn exec_rejects_bad_targets_up_front() {
 }
 
 #[test]
+fn traceroute_execution_carries_flight_recorder_evidence() {
+    // The tentpole acceptance case: a multi-hop traceroute's Execution
+    // must arrive with a causal event timeline and per-hop counter
+    // deltas, with no explicit trace setup (Workstation::install arms
+    // the flight recorder by itself).
+    let mut net = line_network(4, 12.0, 40);
+    let mut ws = Workstation::install(&mut net, 0);
+    ws.cd(&net, "192.168.0.1").unwrap();
+    let exec = ws
+        .exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC))
+        .unwrap();
+    let CommandResult::Traceroute(t) = &exec.result else {
+        panic!("{:?}", exec.result)
+    };
+    assert!(t.reached);
+
+    // Timeline: every event happened inside the command window and the
+    // probe's forwarding left net.forward / net.deliver breadcrumbs.
+    assert!(!exec.timeline.is_empty(), "timeline empty");
+    for ev in &exec.timeline {
+        assert!(ev.at >= exec.issued_at, "event predates command: {ev}");
+    }
+    let msgs = exec
+        .timeline
+        .iter()
+        .map(|e| e.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(msgs.contains("net.forward"), "no forward events:\n{msgs}");
+    assert!(msgs.contains("net.deliver"), "no deliver events:\n{msgs}");
+
+    // Global counter delta: the probe cost real packets.
+    assert!(exec.counter_delta.get("tx.data") > 0, "{:?}", exec.counter_delta);
+
+    // Per-hop profile: every node on the 0→1→2→3 line moved its own
+    // counters during the window, and the relays show forwarding work.
+    let touched: Vec<u16> = exec.node_deltas.iter().map(|d| d.node).collect();
+    for id in 0..4u16 {
+        assert!(touched.contains(&id), "node {id} missing from {touched:?}");
+    }
+    let relays: Vec<u16> = exec
+        .node_deltas
+        .iter()
+        .filter(|d| d.counters.get("net.forward") > 0)
+        .map(|d| d.node)
+        .collect();
+    assert!(!relays.is_empty(), "no relay recorded net.forward");
+    assert!(
+        relays.iter().all(|r| (1..=2).contains(r)),
+        "forwarding attributed to non-relays: {relays:?}"
+    );
+}
+
+#[test]
+fn observability_report_round_trips_through_json() {
+    use liteview::ObservabilityReport;
+    let mut net = line_network(4, 12.0, 41);
+    let mut ws = Workstation::install(&mut net, 0);
+    ws.cd(&net, "192.168.0.1").unwrap();
+    ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+    ws.exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC))
+        .unwrap();
+
+    let report = ws.report(&net);
+    assert_eq!(report.node_count, 4);
+    assert_eq!(report.nodes.len(), 4);
+    assert_eq!(report.executions.len(), 2);
+    assert!(report.executions[0].command.starts_with("ping"));
+    assert!(report.executions[1].command.starts_with("traceroute"));
+    assert!(!report.executions[1].timeline.is_empty());
+    assert!(report.global.get("tx.data") > 0);
+    assert!(report.nodes.iter().all(|n| n.alive));
+
+    let json = report.to_json();
+    let back = ObservabilityReport::from_json(&json).expect("report parses back");
+    assert_eq!(back.node_count, report.node_count);
+    assert_eq!(back.captured_at, report.captured_at);
+    assert_eq!(back.global, report.global);
+    assert_eq!(back.executions.len(), report.executions.len());
+    assert_eq!(
+        back.executions[1].node_deltas, report.executions[1].node_deltas,
+        "per-hop deltas must survive the JSON round trip"
+    );
+}
+
+#[test]
 fn exec_accepts_bare_commands_and_aimed_requests() {
     let mut net = line_network(2, 5.0, 32);
     let mut ws = Workstation::install(&mut net, 0);

@@ -202,6 +202,11 @@ impl Network {
         &self.names
     }
 
+    /// Snapshot every node's health and traffic counters, in node order.
+    pub fn node_stats(&self) -> Vec<crate::node::NodeStats> {
+        self.nodes.iter().map(|n| n.stats()).collect()
+    }
+
     /// Resolve a node name to an id.
     pub fn resolve(&self, name: &str) -> Option<u16> {
         self.names.resolve(name)
@@ -440,6 +445,15 @@ impl Network {
         self.nodes[idx].energy.charge_rx(airtime);
         if !a.delivered {
             self.counters.incr("rx.corrupt");
+            if self.trace.accepts(TraceLevel::Debug) {
+                let at = self.now;
+                self.trace.emit(
+                    at,
+                    node,
+                    TraceLevel::Debug,
+                    format!("rx.corrupt from={} len={wire_len}", sender),
+                );
+            }
             return;
         }
         self.counters.incr("rx.frames");
@@ -470,6 +484,14 @@ impl Network {
                 if let Some(b) = BeaconPayload::decode(&frame.payload) {
                     self.nodes[idx].stack.on_beacon(frame.src, &b, now);
                     self.counters.incr("rx.beacon");
+                    if self.trace.accepts(TraceLevel::Debug) {
+                        self.trace.emit(
+                            now,
+                            node,
+                            TraceLevel::Debug,
+                            format!("rx.beacon from={} seq={}", frame.src, b.seq),
+                        );
+                    }
                 }
             }
             FrameKind::Data => {
@@ -505,10 +527,31 @@ impl Network {
                             } else {
                                 self.counters.incr("net.forward");
                             }
+                            if self.trace.accepts(TraceLevel::Packet) {
+                                self.trace.emit(
+                                    now,
+                                    node,
+                                    TraceLevel::Packet,
+                                    format!(
+                                        "net.forward next_hop={next_hop} origin={} dst={}{}",
+                                        packet.header.origin,
+                                        packet.header.dst,
+                                        if ok { "" } else { " (queue full)" },
+                                    ),
+                                );
+                            }
                             Next::Sent(actions)
                         }
                         RxAction::Drop { reason } => {
                             self.counters.incr(&format!("net.drop.{reason:?}"));
+                            if self.trace.accepts(TraceLevel::Debug) {
+                                self.trace.emit(
+                                    now,
+                                    node,
+                                    TraceLevel::Debug,
+                                    format!("net.drop reason={reason:?}"),
+                                );
+                            }
                             Next::Dropped
                         }
                     }
@@ -521,6 +564,17 @@ impl Network {
                             lqi: rx.lqi,
                         };
                         self.counters.incr("net.deliver");
+                        if self.trace.accepts(TraceLevel::Packet) {
+                            self.trace.emit(
+                                now,
+                                node,
+                                TraceLevel::Packet,
+                                format!(
+                                    "net.deliver pid={pid} origin={} app_port={}",
+                                    packet.header.origin, packet.header.app_port.0
+                                ),
+                            );
+                        }
                         self.run_hook(node, pid, |p, ctx| p.on_packet(ctx, &packet, meta));
                     }
                     Next::Sent(actions) => self.exec_mac_actions(node, actions),
@@ -572,11 +626,31 @@ impl Network {
                 }
                 MacAction::Failed { frame, reason } => {
                     self.counters.incr(&format!("mac.failed.{reason:?}"));
+                    if self.trace.accepts(TraceLevel::Debug) {
+                        let at = self.now;
+                        self.trace.emit(
+                            at,
+                            node,
+                            TraceLevel::Debug,
+                            format!("mac.failed dst={} seq={} reason={reason:?}", frame.dst, frame.seq),
+                        );
+                    }
                     if !frame.is_broadcast() {
                         self.nodes[node as usize]
                             .stack
                             .neighbors
                             .link_feedback(frame.dst, false);
+                    }
+                }
+                MacAction::Anomaly { context } => {
+                    // ISSUE 2 bugfix: a spurious ack or stale timer used
+                    // to abort the node via `unwrap()`. It now surfaces
+                    // here — counted, traced, frame dropped, node alive.
+                    self.counters.incr("mac.anomaly");
+                    if self.trace.accepts(TraceLevel::Debug) {
+                        let at = self.now;
+                        self.trace
+                            .emit(at, node, TraceLevel::Debug, format!("mac.anomaly: {context}"));
                     }
                 }
             }

@@ -7,7 +7,8 @@ use lv_mac::{CsmaConfig, Mac, TxQueue};
 use lv_net::ports::ProcessId;
 use lv_net::stack::{Stack, StackConfig};
 use lv_radio::{Channel, EnergyLedger, PowerLevel};
-use lv_sim::SimRng;
+use lv_sim::{Counters, SimRng};
+use serde::{Deserialize, Serialize};
 
 /// A process slot. The `process` box is temporarily `take()`n while its
 /// hook runs so the kernel can keep mutating the rest of the node.
@@ -20,6 +21,29 @@ pub struct ProcessSlot {
     pub params: Vec<u8>,
     /// Display name (cached from the process).
     pub name: String,
+}
+
+/// A point-in-time snapshot of one node's health and traffic — the
+/// per-node page of the network flight recorder. JSON-serializable so
+/// the workstation can embed it in its `ObservabilityReport`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Node id.
+    pub id: u16,
+    /// Node name (IP convention).
+    pub name: String,
+    /// Whether the node is powered.
+    pub alive: bool,
+    /// Frames waiting in the MAC transmit queue.
+    pub queue_len: usize,
+    /// Live neighbor-table entries.
+    pub neighbor_count: usize,
+    /// Running processes.
+    pub process_count: usize,
+    /// Radio energy spent so far, in millijoules.
+    pub energy_mj: f64,
+    /// Merged MAC + network-layer counters for this node.
+    pub counters: Counters,
 }
 
 /// One sensor node.
@@ -111,6 +135,24 @@ impl Node {
         if let Some(slot) = self.processes.remove(&pid) {
             self.resources.release_ram(slot.image);
             self.stack.unsubscribe_all(pid);
+        }
+    }
+
+    /// Snapshot this node's health and traffic counters (MAC and
+    /// network layers merged into one namespace).
+    pub fn stats(&self) -> NodeStats {
+        let mut counters = Counters::new();
+        counters.merge(self.mac.counters());
+        counters.merge(self.stack.counters());
+        NodeStats {
+            id: self.id,
+            name: self.name.clone(),
+            alive: self.alive,
+            queue_len: self.mac.queue_len(),
+            neighbor_count: self.stack.neighbors.len(),
+            process_count: self.processes.len(),
+            energy_mj: self.energy.active_joules() * 1e3,
+            counters,
         }
     }
 

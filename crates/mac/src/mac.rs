@@ -9,7 +9,7 @@
 use crate::csma::{CsmaConfig, CsmaMachine, MacAction};
 use crate::frame::{Frame, FrameKind, BROADCAST};
 use crate::queue::TxQueue;
-use lv_sim::SimRng;
+use lv_sim::{Counters, SimRng};
 use std::collections::HashMap;
 
 /// A frame handed up to the network layer, with the PHY metadata the
@@ -36,6 +36,9 @@ pub struct Mac {
     /// duplicate a retransmission causes when the ack (not the data) was
     /// lost.
     last_delivered: HashMap<u16, u8>,
+    /// Per-node link-layer counters (attempts, backoffs, CCA outcomes,
+    /// retries, drops) — the MAC slice of the node's flight recorder.
+    counters: Counters,
 }
 
 impl Mac {
@@ -47,6 +50,30 @@ impl Mac {
             queue: TxQueue::new(queue_capacity),
             next_seq: 0,
             last_delivered: HashMap::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    /// This node's link-layer counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Count the observable outcomes in a batch of actions.
+    fn note(&mut self, actions: &[MacAction]) {
+        for a in actions {
+            match a {
+                MacAction::StartTx { .. } => self.counters.incr("mac.tx_attempt"),
+                MacAction::Delivered { retries, .. } => {
+                    self.counters.incr("mac.delivered");
+                    self.counters.add("mac.retries", u64::from(*retries));
+                }
+                MacAction::Failed { reason, .. } => {
+                    self.counters.incr(&format!("mac.failed.{reason:?}"));
+                }
+                MacAction::Anomaly { .. } => self.counters.incr("mac.anomaly"),
+                _ => {}
+            }
         }
     }
 
@@ -90,9 +117,13 @@ impl Mac {
             payload,
         };
         if !self.queue.push(frame) {
+            self.counters.incr("mac.queue_drop");
             return (false, Vec::new());
         }
-        (true, self.pump(rng))
+        self.counters.incr("mac.submit");
+        let actions = self.pump(rng);
+        self.note(&actions);
+        (true, actions)
     }
 
     /// Start the next queued frame if the machine is idle.
@@ -108,18 +139,27 @@ impl Mac {
 
     /// When CSMA reports a terminal outcome, chain the next frame.
     fn chain(&mut self, mut actions: Vec<MacAction>, rng: &mut SimRng) -> Vec<MacAction> {
-        let terminal = actions
-            .iter()
-            .any(|a| matches!(a, MacAction::Delivered { .. } | MacAction::Failed { .. }));
+        let terminal = actions.iter().any(|a| {
+            matches!(
+                a,
+                MacAction::Delivered { .. } | MacAction::Failed { .. } | MacAction::Anomaly { .. }
+            )
+        });
         if terminal {
             actions.extend(self.pump(rng));
         }
+        self.note(&actions);
         actions
     }
 
     /// CCA callback (see [`MacAction::ScheduleCca`]).
     pub fn on_cca(&mut self, token: u64, clear: bool, rng: &mut SimRng) -> Vec<MacAction> {
         let a = self.csma.on_cca(token, clear, rng);
+        if !a.is_empty() {
+            // A fresh (non-stale) assessment; stale ones return nothing.
+            self.counters
+                .incr(if clear { "mac.cca_clear" } else { "mac.cca_busy" });
+        }
         self.chain(a, rng)
     }
 
@@ -132,6 +172,9 @@ impl Mac {
     /// Ack-wait timer callback (see [`MacAction::ScheduleAckWait`]).
     pub fn on_ack_timeout(&mut self, token: u64, rng: &mut SimRng) -> Vec<MacAction> {
         let a = self.csma.on_ack_timeout(token, rng);
+        if !a.is_empty() {
+            self.counters.incr("mac.ack_timeout");
+        }
         self.chain(a, rng)
     }
 

@@ -131,17 +131,13 @@ impl NetPacket {
     }
 
     /// Append one hop's quality metrics if padding is enabled and space
-    /// remains. Returns `true` if the hop was recorded. The original
-    /// payload bytes are never touched.
+    /// remains under the 64-byte cap. Returns `true` if the hop was
+    /// recorded. The original payload bytes are never touched.
     pub fn append_hop_quality(&mut self, hop: HopQuality) -> bool {
         if !self.header.flags.padding_enabled {
             return false;
         }
-        if self.padding_space_left() < HopQuality::WIRE_BYTES {
-            return false;
-        }
-        hop.append_to(&mut self.padding);
-        true
+        hop.append_capped(&mut self.padding, self.payload.len(), PAYLOAD_AREA)
     }
 
     /// Decode the accumulated per-hop qualities.
@@ -276,6 +272,22 @@ mod tests {
         let mut p = NetPacket::new(header(), vec![0; PAYLOAD_AREA]);
         assert_eq!(p.padding_space_left(), 0);
         assert!(!p.append_hop_quality(HopQuality { lqi: 100, rssi: 0 }));
+    }
+
+    #[test]
+    fn frame_at_the_cap_gains_no_further_bytes() {
+        // Regression (ISSUE 2): padding accumulated over many hops must
+        // stop exactly at the 64-byte area, leaving the wire length
+        // frozen no matter how many more hops the packet traverses.
+        let mut p = NetPacket::new(header(), Vec::new());
+        while p.append_hop_quality(HopQuality { lqi: 100, rssi: -9 }) {}
+        assert_eq!(p.payload.len() + p.padding.len(), PAYLOAD_AREA);
+        let frozen = p.wire_len();
+        for _ in 0..8 {
+            assert!(!p.append_hop_quality(HopQuality { lqi: 101, rssi: -1 }));
+            assert_eq!(p.wire_len(), frozen);
+        }
+        assert_eq!(p.hop_qualities().len(), PAYLOAD_AREA / HopQuality::WIRE_BYTES);
     }
 
     #[test]

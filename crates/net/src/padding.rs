@@ -20,9 +20,26 @@ impl HopQuality {
     pub const WIRE_BYTES: usize = 2;
 
     /// Append this hop's two bytes to a padding buffer.
+    ///
+    /// This is the raw serialization primitive (also used when hop
+    /// lists are re-encoded into management replies). For in-flight
+    /// padding use [`HopQuality::append_capped`], which enforces the
+    /// paper's 64-byte packet cap.
     pub fn append_to(self, buf: &mut Vec<u8>) {
         buf.push(self.lqi);
         buf.push(self.rssi as u8);
+    }
+
+    /// Append this hop to a packet's padding buffer only if doing so
+    /// keeps `payload_len + padding` within `cap` bytes (Section
+    /// IV.C.3's 64-byte payload area). Returns whether the hop was
+    /// recorded; at the cap the buffer gains no bytes at all.
+    pub fn append_capped(self, padding: &mut Vec<u8>, payload_len: usize, cap: usize) -> bool {
+        if payload_len + padding.len() + Self::WIRE_BYTES > cap {
+            return false;
+        }
+        self.append_to(padding);
+        true
     }
 
     /// Parse every complete hop entry from a padding buffer (a trailing
@@ -73,5 +90,25 @@ mod tests {
     #[test]
     fn empty_buffer() {
         assert!(HopQuality::parse_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn capped_append_stops_at_the_area_boundary() {
+        let hop = HopQuality { lqi: 100, rssi: 0 };
+        let mut buf = Vec::new();
+        // 16-byte payload in a 64-byte area: exactly 24 hops fit.
+        let mut appended = 0;
+        while hop.append_capped(&mut buf, 16, 64) {
+            appended += 1;
+        }
+        assert_eq!(appended, 24);
+        assert_eq!(buf.len(), 48);
+        // A frame at the cap gains no further bytes — ever.
+        assert!(!hop.append_capped(&mut buf, 16, 64));
+        assert_eq!(buf.len(), 48);
+        // An odd single free byte is not enough for a 2-byte entry.
+        let mut odd = Vec::new();
+        assert!(!hop.append_capped(&mut odd, 63, 64));
+        assert!(odd.is_empty());
     }
 }

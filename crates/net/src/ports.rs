@@ -10,6 +10,11 @@ use std::collections::BTreeMap;
 /// Identifier of a process/thread on a node (kernel-assigned).
 pub type ProcessId = u32;
 
+/// Pseudo-pid reported as the holder of a port owned by the kernel
+/// itself (an installed routing protocol rather than a process). Real
+/// process ids start at 1, so 0 is never a live process.
+pub const KERNEL_PID: ProcessId = 0;
+
 /// Port → subscriber registry for one node.
 #[derive(Debug, Default, Clone)]
 pub struct PortMap {

@@ -10,10 +10,10 @@ use crate::beacon::{BeaconPayload, MAX_LINK_ENTRIES};
 use crate::neighbors::NeighborTable;
 use crate::packet::{NetHeader, NetPacket, PacketFlags, Port};
 use crate::padding::HopQuality;
-use crate::ports::{PortMap, ProcessId, SubscribeError};
+use crate::ports::{PortMap, ProcessId, SubscribeError, KERNEL_PID};
 use crate::routing::{DropReason, RouteCtx, RouteDecision, Router};
 use lv_radio::units::Position;
-use lv_sim::{SimDuration, SimTime};
+use lv_sim::{Counters, SimDuration, SimTime};
 
 /// Stack tunables.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +71,13 @@ pub enum RouterError {
     PortInUse,
 }
 
+/// An installed router and the process id that owns its port
+/// ([`KERNEL_PID`] when the kernel installed it directly).
+struct RouterSlot {
+    holder: ProcessId,
+    router: Box<dyn Router>,
+}
+
 /// The per-node communication stack.
 pub struct Stack {
     me: u16,
@@ -78,10 +85,14 @@ pub struct Stack {
     ports: PortMap,
     /// The kernel-owned neighbor table (exposed for syscall access).
     pub neighbors: NeighborTable,
-    routers: Vec<Box<dyn Router>>,
+    routers: Vec<RouterSlot>,
     next_seq: u8,
     beacon_seq: u16,
     config: StackConfig,
+    /// Per-node network-layer counters (forwards, deliveries, drops,
+    /// beacon receptions, neighbor churn, padding caps) — the net slice
+    /// of the node's flight recorder.
+    counters: Counters,
 }
 
 impl Stack {
@@ -96,7 +107,13 @@ impl Stack {
             next_seq: 0,
             beacon_seq: 0,
             config,
+            counters: Counters::new(),
         }
+    }
+
+    /// This node's network-layer counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     /// This node's id.
@@ -120,10 +137,14 @@ impl Stack {
         &self.config
     }
 
-    /// Subscribe an application process to a port.
+    /// Subscribe an application process to a port. On conflict the
+    /// error names the actual holder: the owning process's pid, or
+    /// [`KERNEL_PID`] for a kernel-installed router.
     pub fn subscribe(&mut self, port: Port, pid: ProcessId) -> Result<(), SubscribeError> {
-        if self.router_on(port).is_some() {
-            return Err(SubscribeError::PortInUse { holder: u32::MAX });
+        if let Some(idx) = self.router_on(port) {
+            return Err(SubscribeError::PortInUse {
+                holder: self.routers[idx].holder,
+            });
         }
         self.ports.subscribe(port, pid)
     }
@@ -143,30 +164,43 @@ impl Stack {
         self.ports.lookup(port)
     }
 
-    /// Install a routing protocol. "Multiple routing protocols can
-    /// co-exist, and there is no redundancy between protocols": each gets
-    /// its own port, exclusively.
+    /// Install a routing protocol on behalf of the kernel. "Multiple
+    /// routing protocols can co-exist, and there is no redundancy
+    /// between protocols": each gets its own port, exclusively.
     pub fn register_router(&mut self, router: Box<dyn Router>) -> Result<(), RouterError> {
+        self.register_router_as(router, KERNEL_PID)
+    }
+
+    /// Install a routing protocol whose port is held by process
+    /// `holder` — conflict errors will name that pid.
+    pub fn register_router_as(
+        &mut self,
+        router: Box<dyn Router>,
+        holder: ProcessId,
+    ) -> Result<(), RouterError> {
         let port = router.port();
         if self.router_on(port).is_some() || self.ports.lookup(port).is_some() {
             return Err(RouterError::PortInUse);
         }
-        self.routers.push(router);
+        self.routers.push(RouterSlot { holder, router });
         Ok(())
     }
 
     fn router_on(&self, port: Port) -> Option<usize> {
-        self.routers.iter().position(|r| r.port() == port)
+        self.routers.iter().position(|s| s.router.port() == port)
     }
 
     /// Name of the protocol on `port` (traceroute prints this).
     pub fn router_name(&self, port: Port) -> Option<&'static str> {
-        self.router_on(port).map(|i| self.routers[i].name())
+        self.router_on(port).map(|i| self.routers[i].router.name())
     }
 
     /// Every installed router as `(port, protocol name)`.
     pub fn router_list(&self) -> Vec<(Port, &'static str)> {
-        self.routers.iter().map(|r| (r.port(), r.name())).collect()
+        self.routers
+            .iter()
+            .map(|s| (s.router.port(), s.router.name()))
+            .collect()
     }
 
     /// Gradient to advertise in beacons: the minimum over routers that
@@ -174,7 +208,7 @@ impl Stack {
     pub fn tree_gradient(&self) -> u8 {
         self.routers
             .iter()
-            .filter_map(|r| r.gradient(&self.neighbors))
+            .filter_map(|s| s.router.gradient(&self.neighbors))
             .min()
             .unwrap_or(crate::neighbors::TREE_UNREACHABLE)
     }
@@ -195,7 +229,7 @@ impl Stack {
             neighbors: &self.neighbors,
             locations,
         };
-        self.routers[idx].next_hop_query(&ctx, dst)
+        self.routers[idx].router.next_hop_query(&ctx, dst)
     }
 
     /// Allocate the next origin sequence number.
@@ -247,10 +281,14 @@ impl Stack {
                 neighbors: &self.neighbors,
                 locations,
             };
-            return match self.routers[idx].decide(&ctx, &packet) {
+            let decision = self.routers[idx].router.decide(&ctx, &packet);
+            return match decision {
                 RouteDecision::Deliver => self.deliver(packet),
-                RouteDecision::Forward { next_hop } => RxAction::Forward { next_hop, packet },
-                RouteDecision::Drop(reason) => RxAction::Drop { reason },
+                RouteDecision::Forward { next_hop } => {
+                    self.counters.incr("net.originate");
+                    RxAction::Forward { next_hop, packet }
+                }
+                RouteDecision::Drop(reason) => self.drop(reason),
             };
         }
         // One-hop: the link-layer destination is the final destination —
@@ -259,6 +297,7 @@ impl Stack {
         if packet.header.dst == self.me {
             return self.deliver(packet);
         }
+        self.counters.incr("net.originate");
         let next_hop = packet.header.dst;
         RxAction::Forward { next_hop, packet }
     }
@@ -275,7 +314,16 @@ impl Stack {
         my_position: Position,
         locations: &dyn Fn(u16) -> Option<Position>,
     ) -> RxAction {
-        packet.append_hop_quality(hop);
+        if packet.header.flags.padding_enabled {
+            // `padding.capped` counts hops silently lost to the paper's
+            // 64-byte packet cap — exactly the blind spot Section IV.C.3
+            // warns long paths run into.
+            if packet.append_hop_quality(hop) {
+                self.counters.incr("padding.appended");
+            } else {
+                self.counters.incr("padding.capped");
+            }
+        }
         if let Some(idx) = self.router_on(packet.header.port) {
             let ctx = RouteCtx {
                 me: self.me,
@@ -283,19 +331,19 @@ impl Stack {
                 neighbors: &self.neighbors,
                 locations,
             };
-            return match self.routers[idx].decide(&ctx, &packet) {
+            let decision = self.routers[idx].router.decide(&ctx, &packet);
+            return match decision {
                 RouteDecision::Deliver => self.deliver(packet),
                 RouteDecision::Forward { next_hop } => {
                     packet.header.ttl = packet.header.ttl.saturating_sub(1);
                     if packet.header.ttl == 0 {
-                        RxAction::Drop {
-                            reason: DropReason::TtlExpired,
-                        }
+                        self.drop(DropReason::TtlExpired)
                     } else {
+                        self.counters.incr("net.forward");
                         RxAction::Forward { next_hop, packet }
                     }
                 }
-                RouteDecision::Drop(reason) => RxAction::Drop { reason },
+                RouteDecision::Drop(reason) => self.drop(reason),
             };
         }
         // No router: one-hop packet; must be for us (the MAC already
@@ -303,13 +351,19 @@ impl Stack {
         self.deliver(packet)
     }
 
-    fn deliver(&self, packet: NetPacket) -> RxAction {
+    fn deliver(&mut self, packet: NetPacket) -> RxAction {
         match self.ports.lookup(packet.header.app_port) {
-            Some(pid) => RxAction::DeliverTo { pid, packet },
-            None => RxAction::Drop {
-                reason: DropReason::NoListener,
-            },
+            Some(pid) => {
+                self.counters.incr("net.deliver");
+                RxAction::DeliverTo { pid, packet }
+            }
+            None => self.drop(DropReason::NoListener),
         }
+    }
+
+    fn drop(&mut self, reason: DropReason) -> RxAction {
+        self.counters.incr(&format!("net.drop.{reason:?}"));
+        RxAction::Drop { reason }
     }
 
     /// Build this node's next neighbor beacon.
@@ -327,6 +381,10 @@ impl Stack {
 
     /// Apply a received neighbor beacon.
     pub fn on_beacon(&mut self, from: u16, beacon: &BeaconPayload, now: SimTime) {
+        self.counters.incr("net.beacon_rx");
+        if self.neighbors.get(from).is_none() {
+            self.counters.incr("net.neighbor_new");
+        }
         let ours = beacon.quality_of(self.me);
         self.neighbors.on_beacon(
             from,
@@ -341,7 +399,12 @@ impl Stack {
 
     /// Periodic housekeeping: expire silent neighbors.
     pub fn housekeeping(&mut self, now: SimTime) {
+        let before = self.neighbors.len();
         self.neighbors.expire(now, self.config.neighbor_timeout);
+        let expired = before.saturating_sub(self.neighbors.len());
+        if expired > 0 {
+            self.counters.add("net.neighbor_expired", expired as u64);
+        }
     }
 }
 
@@ -531,6 +594,81 @@ mod tests {
         s.neighbors.touch(7, SimTime::ZERO);
         s.housekeeping(SimTime::from_secs(60));
         assert!(s.neighbors.get(7).is_none());
+    }
+
+    #[test]
+    fn subscribe_conflict_names_the_real_holder() {
+        let mut s = stack(1);
+        s.register_router(Box::new(Geographic::new(Port::GEOGRAPHIC)))
+            .unwrap();
+        s.register_router_as(Box::new(Flooding::new(Port::FLOODING)), 7)
+            .unwrap();
+        s.subscribe(Port(20), 3).unwrap();
+        // Kernel-installed router: holder is the kernel pseudo-pid…
+        assert_eq!(
+            s.subscribe(Port::GEOGRAPHIC, 9),
+            Err(SubscribeError::PortInUse { holder: KERNEL_PID })
+        );
+        // …a process-held router names that process…
+        assert_eq!(
+            s.subscribe(Port::FLOODING, 9),
+            Err(SubscribeError::PortInUse { holder: 7 })
+        );
+        // …and an app-held port names the app (via the port map).
+        assert_eq!(
+            s.subscribe(Port(20), 9),
+            Err(SubscribeError::PortInUse { holder: 3 })
+        );
+    }
+
+    #[test]
+    fn counters_track_forward_deliver_and_padding_cap() {
+        let mut s = stack(2);
+        s.register_router(Box::new(Geographic::new(Port::GEOGRAPHIC)))
+            .unwrap();
+        add_line_neighbors(&mut s, &[1, 3]);
+        let mut origin_stack = stack(1);
+        // A full payload leaves no padding room: the hop is capped.
+        let p = origin_stack.make_packet(
+            5,
+            Port::GEOGRAPHIC,
+            Port::PING,
+            vec![0; crate::packet::PAYLOAD_AREA],
+            true,
+        );
+        match s.on_receive(p, hop(), locs(2).unwrap(), &locs) {
+            RxAction::Forward { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.counters().get("net.forward"), 1);
+        assert_eq!(s.counters().get("padding.capped"), 1);
+        assert_eq!(s.counters().get("padding.appended"), 0);
+        // A short payload has room: the hop is appended.
+        let p = origin_stack.make_packet(5, Port::GEOGRAPHIC, Port::PING, vec![0; 16], true);
+        s.on_receive(p, hop(), locs(2).unwrap(), &locs);
+        assert_eq!(s.counters().get("padding.appended"), 1);
+        // Delivery and no-listener drops are counted too.
+        let p = origin_stack.make_packet(2, Port::PING, Port::PING, vec![], false);
+        s.on_receive(p, hop(), locs(2).unwrap(), &locs);
+        assert_eq!(s.counters().get("net.drop.NoListener"), 1);
+        s.subscribe(Port::PING, 4).unwrap();
+        let p = origin_stack.make_packet(2, Port::PING, Port::PING, vec![], false);
+        s.on_receive(p, hop(), locs(2).unwrap(), &locs);
+        assert_eq!(s.counters().get("net.deliver"), 1);
+    }
+
+    #[test]
+    fn counters_track_beacons_and_neighbor_churn() {
+        let mut a = stack(1);
+        let mut b = stack(2);
+        for _ in 0..3 {
+            let beacon = a.make_beacon(locs(1).unwrap());
+            b.on_beacon(1, &beacon, SimTime::from_millis(1));
+        }
+        assert_eq!(b.counters().get("net.beacon_rx"), 3);
+        assert_eq!(b.counters().get("net.neighbor_new"), 1);
+        b.housekeeping(SimTime::from_secs(60));
+        assert_eq!(b.counters().get("net.neighbor_expired"), 1);
     }
 
     #[test]

@@ -6,14 +6,14 @@
 //! histogram, and a raw time series for per-hop traces.
 
 use crate::time::{SimDuration, SimTime};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A registry of named monotonically increasing counters.
 ///
 /// `BTreeMap` keeps iteration order deterministic so serialized metric
 /// dumps diff cleanly between runs.
-#[derive(Debug, Default, Clone, Serialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counters {
     values: BTreeMap<String, u64>,
 }
@@ -65,6 +65,35 @@ impl Counters {
         for (k, v) in other.iter() {
             self.add(k, v);
         }
+    }
+
+    /// The per-counter increase since `baseline` was captured.
+    ///
+    /// Counters are monotone, so for an earlier snapshot of the same
+    /// registry every delta is `self - baseline`; a counter absent from
+    /// the baseline contributes its full value, and zero deltas are
+    /// omitted so the result only names what actually moved. (If a
+    /// counter was reset between the snapshots the delta saturates at
+    /// zero rather than underflowing.)
+    pub fn diff(&self, baseline: &Counters) -> Counters {
+        let mut out = Counters::new();
+        for (k, v) in self.iter() {
+            let delta = v.saturating_sub(baseline.get(k));
+            if delta > 0 {
+                out.add(k, delta);
+            }
+        }
+        out
+    }
+
+    /// Number of named counters (including zero-valued ones).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no counter has ever been touched.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
     }
 }
 
@@ -367,6 +396,36 @@ mod tests {
         a.reset();
         assert_eq!(a.get("x"), 0);
         assert_eq!(a.sum_prefix(""), 0);
+    }
+
+    #[test]
+    fn counters_diff_reports_only_movement() {
+        let mut c = Counters::new();
+        c.add("tx.data", 3);
+        c.add("rx.frames", 1);
+        let baseline = c.clone();
+        c.add("tx.data", 2);
+        c.add("mac.failed", 1);
+        let d = c.diff(&baseline);
+        assert_eq!(d.get("tx.data"), 2);
+        assert_eq!(d.get("mac.failed"), 1);
+        // rx.frames did not move, so it is absent entirely.
+        assert_eq!(d.len(), 2);
+        // A reset between snapshots saturates instead of underflowing.
+        c.reset();
+        assert!(c.diff(&baseline).is_empty());
+    }
+
+    #[test]
+    fn counters_json_round_trip() {
+        let mut c = Counters::new();
+        c.add("net.forward", 7);
+        c.incr("padding.capped");
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Counters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("net.forward"), 7);
+        assert_eq!(back.get("padding.capped"), 1);
+        assert_eq!(back.len(), c.len());
     }
 
     #[test]

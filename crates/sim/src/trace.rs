@@ -6,10 +6,11 @@
 //! one branch when disabled.
 
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Severity / verbosity of a trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum TraceLevel {
     /// Always-interesting events (command issued, command completed).
     Info,
@@ -20,7 +21,7 @@ pub enum TraceLevel {
 }
 
 /// One trace record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// Virtual time the event occurred.
     pub at: SimTime,
@@ -111,6 +112,23 @@ impl Trace {
             .filter(|e| e.message.contains(needle))
             .collect()
     }
+
+    /// Retained events at or after `at`, oldest first — the causal
+    /// timeline of whatever started at `at` (a command dispatch, say).
+    pub fn events_since(&self, at: SimTime) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.at >= at)
+    }
+
+    /// Retained events attributed to `node`, oldest first.
+    pub fn events_for(&self, node: u16) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.node == node)
+    }
+
+    /// Discard all retained events (the level gate is unchanged).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
 }
 
 impl Default for Trace {
@@ -161,6 +179,22 @@ mod tests {
         assert_eq!(t.find("seq=4").len(), 2);
         assert_eq!(t.find("drop").len(), 1);
         assert_eq!(t.find("nothing").len(), 0);
+    }
+
+    #[test]
+    fn since_and_for_node_filters() {
+        let mut t = Trace::enabled(TraceLevel::Debug, 16);
+        t.emit(SimTime::from_millis(1), 1, TraceLevel::Info, "early");
+        t.emit(SimTime::from_millis(5), 2, TraceLevel::Info, "late a");
+        t.emit(SimTime::from_millis(9), 1, TraceLevel::Info, "late b");
+        assert_eq!(t.events_since(SimTime::from_millis(5)).count(), 2);
+        assert_eq!(t.events_for(1).count(), 2);
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+        // Still enabled after clear.
+        t.emit(SimTime::ZERO, 0, TraceLevel::Info, "again");
+        assert_eq!(t.events().len(), 1);
     }
 
     #[test]

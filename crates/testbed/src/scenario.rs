@@ -125,6 +125,14 @@ impl Scenario {
     pub fn reset_counters(&mut self) {
         self.net.counters.reset();
     }
+
+    /// Snapshot the network-wide flight recorder: per-node stats, the
+    /// retained event timeline, and every command executed so far.
+    /// (The recorder is armed automatically by [`Workstation::install`]
+    /// during [`Scenario::build`].)
+    pub fn report(&self) -> liteview::ObservabilityReport {
+        self.ws.report(&self.net)
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +150,21 @@ mod tests {
             panic!()
         };
         assert_eq!(p.received, 1);
+    }
+
+    #[test]
+    fn built_scenario_has_armed_flight_recorder() {
+        use lv_sim::TraceLevel;
+        let cfg = ScenarioConfig::new(Topology::Line { n: 2, spacing: 5.0 }, 6);
+        let mut s = Scenario::build(cfg);
+        assert!(s.net.trace.accepts(TraceLevel::Packet));
+        s.ws.cd(&s.net, "192.168.0.1").unwrap();
+        s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None))
+            .unwrap();
+        let report = s.report();
+        assert_eq!(report.executions.len(), 1);
+        assert!(!report.executions[0].timeline.is_empty());
+        assert!(liteview::ObservabilityReport::from_json(&report.to_json()).is_some());
     }
 
     #[test]

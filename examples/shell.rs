@@ -57,6 +57,59 @@ fn main() {
                     liteview_repro::lv_testbed::map::render_map(&s.net, 64, 12)
                 );
             }
+            Ok(ShellInput::Stats { node }) => {
+                let filter = match node.as_deref().map(|n| s.net.resolve(n)) {
+                    Some(None) => {
+                        println!("no such node: {}", node.unwrap());
+                        continue;
+                    }
+                    Some(Some(id)) => Some(id),
+                    None => None,
+                };
+                for st in s.net.node_stats() {
+                    if filter.is_some_and(|id| id != st.id) {
+                        continue;
+                    }
+                    println!(
+                        "{} ({}): {}  queue={} neighbors={} procs={} energy={:.2} mJ",
+                        st.name,
+                        st.id,
+                        if st.alive { "up" } else { "DOWN" },
+                        st.queue_len,
+                        st.neighbor_count,
+                        st.process_count,
+                        st.energy_mj,
+                    );
+                    if filter.is_some() {
+                        for (k, v) in st.counters.iter() {
+                            println!("  {k} = {v}");
+                        }
+                    }
+                }
+            }
+            Ok(ShellInput::TraceDump { node }) => {
+                let filter = match node.as_deref().map(|n| s.net.resolve(n)) {
+                    Some(None) => {
+                        println!("no such node: {}", node.unwrap());
+                        continue;
+                    }
+                    Some(Some(id)) => Some(id),
+                    None => None,
+                };
+                let mut shown = 0usize;
+                for ev in s.net.trace.events() {
+                    if filter.is_some_and(|id| id != ev.node) {
+                        continue;
+                    }
+                    println!("{ev}");
+                    shown += 1;
+                }
+                let dropped = s.net.trace.dropped();
+                println!("({shown} events retained, {dropped} dropped)");
+            }
+            Ok(ShellInput::Report) => {
+                println!("{}", s.ws.report(&s.net).to_json());
+            }
             Ok(ShellInput::Run { secs }) => {
                 s.net
                     .run_for(SimDuration::from_nanos((secs * 1e9) as u64));

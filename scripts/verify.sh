@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full verification gate: every test in the workspace, then clippy with
+# warnings promoted to errors. Run before sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo test --all =="
+cargo test -q --all
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"
