@@ -1,0 +1,28 @@
+//! Cached vs brute-force medium at benchmark scale: times one point of
+//! the PR-3 scaling workload (beacon + traceroute, multi-trial) with the
+//! reachability cache on and off. Criterion keeps the comparison honest
+//! over time; the full 100→1000-node sweep lives in `figures --scale`
+//! (and `scripts/bench.sh` checks it into `BENCH_PR3.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lv_testbed::experiments::scale_point;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("medium_scale");
+    g.sample_size(10);
+    let n = 100usize;
+    for cached in [true, false] {
+        let label = if cached { "cached" } else { "brute" };
+        g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+            b.iter(|| {
+                let row = scale_point(n, 42, cached);
+                black_box(row.events)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

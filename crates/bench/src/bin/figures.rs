@@ -34,6 +34,8 @@ struct Args {
     workers: Option<usize>,
     json: bool,
     report: bool,
+    scale: bool,
+    sizes: Vec<usize>,
 }
 
 impl Args {
@@ -54,10 +56,23 @@ fn parse_args() -> Args {
     let mut workers = None;
     let mut json = false;
     let mut report = false;
+    let mut scale = false;
+    let mut sizes = vec![100, 250, 500, 1000];
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--report" => report = true,
+            "--scale" => scale = true,
+            "--sizes" => {
+                sizes = argv
+                    .next()
+                    .map(|s| {
+                        s.split(',')
+                            .map(|v| v.parse().expect("--sizes n,n,…"))
+                            .collect()
+                    })
+                    .expect("--sizes n,n,…");
+            }
             "--seed" => {
                 seed = argv
                     .next()
@@ -81,9 +96,9 @@ fn parse_args() -> Args {
             other => what.push(other.to_owned()),
         }
     }
-    if report {
-        // `--report` is a session, not a figure: an empty experiment
-        // list stays empty instead of expanding to `all`.
+    if report || scale {
+        // `--report` / `--scale` are sessions, not figures: an empty
+        // experiment list stays empty instead of expanding to `all`.
     } else if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
             "fig5", "fig6", "fig7", "tresp", "tping", "tpad", "tfoot", "tovh1", "linkchar",
@@ -100,6 +115,8 @@ fn parse_args() -> Args {
         workers,
         json,
         report,
+        scale,
+        sizes,
     }
 }
 
@@ -107,6 +124,9 @@ fn main() {
     let args = parse_args();
     if args.report {
         report(args.seed);
+    }
+    if args.scale {
+        scale(&args);
     }
     for what in &args.what {
         match what.as_str() {
@@ -152,6 +172,37 @@ fn report(seed: u64) {
         "report JSON does not round-trip"
     );
     println!("{json}");
+}
+
+/// `--scale`: the PR-3 scaling sweep. Runs the beacon + traceroute
+/// workload at each `--sizes` entry with the medium's reachability
+/// cache on and off, hard-fails unless both arms are bit-identical,
+/// and reports wall time / events/sec (plus the speedup per size).
+fn scale(args: &Args) {
+    let rows = exp::scale_sweep(&args.sizes, args.seed);
+    if args.json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+    let lines: Vec<Line> = rows
+        .chunks(2)
+        .map(|pair| {
+            let (c, b) = (&pair[0], &pair[1]);
+            Line(format!(
+                "{:>6}   {:>12.1} {:>12.1}   {:>12.0} {:>12.0}   {:>7.2}x",
+                c.nodes, c.wall_ms, b.wall_ms, c.events_per_sec, b.events_per_sec,
+                b.wall_ms / c.wall_ms
+            ))
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            "Scaling — beacon + traceroute workload, cached vs brute-force medium",
+            " nodes   cached[ms]    brute[ms]      cached[ev/s]  brute[ev/s]   speedup",
+            &lines
+        )
+    );
 }
 
 fn fig5(seed: u64, json: bool) {

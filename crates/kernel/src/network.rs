@@ -23,7 +23,8 @@ use lv_net::routing::Router;
 use lv_net::stack::RxAction;
 use lv_radio::timing::PhyTiming;
 use lv_radio::{Channel, Medium};
-use lv_sim::{Counters, EventQueue, SimDuration, SimTime, Trace, TraceLevel};
+use lv_sim::{CounterId, Counters, EventQueue, SimDuration, SimTime, Trace, TraceLevel};
+use std::sync::Arc;
 
 /// Events the loop dispatches.
 #[derive(Debug)]
@@ -76,16 +77,22 @@ enum Event {
     },
 }
 
-/// An in-flight (or recently finished) transmission.
+/// An in-flight (or recently finished) transmission. The frame is
+/// reference-counted so the fan-out to many receivers shares one
+/// allocation instead of cloning the payload per receiver.
 struct ActiveTx {
     sender: u16,
     channel: Channel,
     power: lv_radio::PowerLevel,
     start: SimTime,
     end: SimTime,
-    frame: Frame,
+    frame: Arc<Frame>,
     wire_len: usize,
 }
+
+/// Never prune the active-transmission table below this size; pruning a
+/// tiny map every transmission costs more than it saves.
+const ACTIVE_PRUNE_MIN: usize = 32;
 
 /// Loop tunables.
 #[derive(Debug, Clone, Copy)]
@@ -126,6 +133,20 @@ pub struct Network {
     /// ack preempts everything right after the RX→TX turnaround.
     ack_reserved_until: Vec<SimTime>,
     next_tx: u64,
+    /// Prune `active` only when it reaches this size (then re-arm a
+    /// fixed step above the live set). Amortizes the retain scan to
+    /// O(1) per transmission instead of O(|active|).
+    prune_at: usize,
+    /// Longest airtime ever inserted into `active`. Transmission ids
+    /// are assigned in start order, so any entry whose start is more
+    /// than this before an interval of interest — and every entry with
+    /// a smaller id — can be skipped exactly: it ended too early to
+    /// overlap. This keeps the per-reception scans proportional to the
+    /// *overlapping* set, not the 50 ms pruning grace window.
+    max_airtime: SimDuration,
+    /// Total events popped by `run_until` — the scaling benchmark's
+    /// denominator for events/sec.
+    events_dispatched: u64,
     timing: PhyTiming,
     config: NetworkConfig,
     /// Global packet/event counters (the overhead figures read these).
@@ -158,6 +179,9 @@ impl Network {
             tx_busy_until: vec![SimTime::ZERO; n],
             ack_reserved_until: vec![SimTime::ZERO; n],
             next_tx: 0,
+            prune_at: ACTIVE_PRUNE_MIN,
+            max_airtime: SimDuration::ZERO,
+            events_dispatched: 0,
             timing: PhyTiming::default(),
             config,
             counters: Counters::new(),
@@ -180,6 +204,11 @@ impl Network {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Total events dispatched by the loop so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
     }
 
     /// Number of nodes.
@@ -248,6 +277,7 @@ impl Network {
             }
             let (at, ev) = self.queue.pop().expect("peeked");
             self.now = at;
+            self.events_dispatched += 1;
             self.dispatch(ev);
         }
         if t > self.now {
@@ -363,16 +393,32 @@ impl Network {
         self.queue.push(self.now + period + j, Event::Beacon { node });
     }
 
+    /// First transmission id that could still overlap an interval
+    /// beginning at `from`. Ids are assigned in start order and no
+    /// frame lasts longer than `max_airtime`, so every entry below the
+    /// returned id ended at or before `from` — skipping them changes
+    /// neither outcomes nor RNG draw counts (such entries fail every
+    /// overlap filter before reaching an RNG-consuming check).
+    fn scan_floor(&self, from: SimTime) -> u64 {
+        for (&id, other) in self.active.iter().rev() {
+            if other.start + self.max_airtime <= from {
+                return id + 1;
+            }
+        }
+        0
+    }
+
     fn on_cca(&mut self, node: u16, token: u64) {
         let idx = node as usize;
         if !self.nodes[idx].alive {
             return;
         }
+        let floor = self.scan_floor(self.now);
         let clear = {
             let medium = &self.medium;
             let n = &mut self.nodes[idx];
             let mut busy = false;
-            for tx in self.active.values() {
+            for tx in self.active.range(floor..).map(|(_, tx)| tx) {
                 if tx.end <= self.now || tx.start > self.now || tx.channel != n.channel {
                     continue;
                 }
@@ -404,19 +450,24 @@ impl Network {
         if !n.alive || n.channel != tx.channel {
             return;
         }
-        // Half duplex: a node radiating during any part of the frame
-        // cannot receive it.
-        let busy_transmitting = self.active.values().any(|other| {
-            other.sender == node && other.start < tx.end && other.end > tx.start
-        });
-        if busy_transmitting {
-            self.counters.incr("rx.halfduplex_miss");
-            return;
-        }
-        // Aggregate co-channel interference overlapping this frame.
+        // One pass over the active table does double duty: detect the
+        // half-duplex conflict (a node radiating during any part of the
+        // frame cannot receive it) and aggregate co-channel
+        // interference. The busy case discards the partial sum, and
+        // `BTreeMap` iteration keeps the float accumulation order of
+        // the original two-pass code, so outcomes are identical.
+        let mut busy_transmitting = false;
         let mut interference_mw = 0.0;
-        for other in self.active.values() {
-            if other.sender == tx.sender || other.sender == node {
+        let floor = self.scan_floor(tx.start);
+        for other in self.active.range(floor..).map(|(_, other)| other) {
+            if other.sender == node {
+                if other.start < tx.end && other.end > tx.start {
+                    busy_transmitting = true;
+                    break;
+                }
+                continue; // own radio, but not overlapping this frame
+            }
+            if other.sender == tx.sender {
                 continue;
             }
             if other.channel != tx.channel || other.start >= tx.end || other.end <= tx.start {
@@ -428,6 +479,10 @@ impl Network {
             {
                 interference_mw += p.to_mw();
             }
+        }
+        if busy_transmitting {
+            self.counters.incr_id(CounterId::RxHalfduplexMiss);
+            return;
         }
         let (sender, power, wire_len, frame) =
             (tx.sender, tx.power, tx.wire_len, tx.frame.clone());
@@ -444,7 +499,7 @@ impl Network {
         let airtime = self.timing.frame_airtime(wire_len);
         self.nodes[idx].energy.charge_rx(airtime);
         if !a.delivered {
-            self.counters.incr("rx.corrupt");
+            self.counters.incr_id(CounterId::RxCorrupt);
             if self.trace.accepts(TraceLevel::Debug) {
                 let at = self.now;
                 self.trace.emit(
@@ -456,7 +511,7 @@ impl Network {
             }
             return;
         }
-        self.counters.incr("rx.frames");
+        self.counters.incr_id(CounterId::RxFrames);
         let (actions, delivered) = {
             let nn = &mut self.nodes[idx];
             let rx = Reception {
@@ -483,7 +538,7 @@ impl Network {
             FrameKind::Beacon => {
                 if let Some(b) = BeaconPayload::decode(&frame.payload) {
                     self.nodes[idx].stack.on_beacon(frame.src, &b, now);
-                    self.counters.incr("rx.beacon");
+                    self.counters.incr_id(CounterId::RxBeacon);
                     if self.trace.accepts(TraceLevel::Debug) {
                         self.trace.emit(
                             now,
@@ -496,7 +551,7 @@ impl Network {
             }
             FrameKind::Data => {
                 let Some(pkt) = NetPacket::decode(&frame.payload) else {
-                    self.counters.incr("rx.garbled");
+                    self.counters.incr_id(CounterId::RxGarbled);
                     return;
                 };
                 let hop = HopQuality {
@@ -523,9 +578,9 @@ impl Network {
                             let (mac, rng) = (&mut nn.mac, &mut nn.rng);
                             let (ok, actions) = mac.send(FrameKind::Data, next_hop, payload, rng);
                             if !ok {
-                                self.counters.incr("net.queue_drop");
+                                self.counters.incr_id(CounterId::NetQueueDrop);
                             } else {
-                                self.counters.incr("net.forward");
+                                self.counters.incr_id(CounterId::NetForward);
                             }
                             if self.trace.accepts(TraceLevel::Packet) {
                                 self.trace.emit(
@@ -543,7 +598,7 @@ impl Network {
                             Next::Sent(actions)
                         }
                         RxAction::Drop { reason } => {
-                            self.counters.incr(&format!("net.drop.{reason:?}"));
+                            self.counters.incr_id(reason.counter_id());
                             if self.trace.accepts(TraceLevel::Debug) {
                                 self.trace.emit(
                                     now,
@@ -563,7 +618,7 @@ impl Network {
                             rssi: rx.rssi,
                             lqi: rx.lqi,
                         };
-                        self.counters.incr("net.deliver");
+                        self.counters.incr_id(CounterId::NetDeliver);
                         if self.trace.accepts(TraceLevel::Packet) {
                             self.trace.emit(
                                 now,
@@ -616,7 +671,7 @@ impl Network {
                     self.queue.push(at, Event::SendAck { node, dst, seq });
                 }
                 MacAction::Delivered { frame, .. } => {
-                    self.counters.incr("mac.delivered");
+                    self.counters.incr_id(CounterId::MacDelivered);
                     if !frame.is_broadcast() {
                         let now = self.now;
                         let n = &mut self.nodes[node as usize];
@@ -625,7 +680,7 @@ impl Network {
                     }
                 }
                 MacAction::Failed { frame, reason } => {
-                    self.counters.incr(&format!("mac.failed.{reason:?}"));
+                    self.counters.incr_id(reason.counter_id());
                     if self.trace.accepts(TraceLevel::Debug) {
                         let at = self.now;
                         self.trace.emit(
@@ -646,7 +701,7 @@ impl Network {
                     // ISSUE 2 bugfix: a spurious ack or stale timer used
                     // to abort the node via `unwrap()`. It now surfaces
                     // here — counted, traced, frame dropped, node alive.
-                    self.counters.incr("mac.anomaly");
+                    self.counters.incr_id(CounterId::MacAnomaly);
                     if self.trace.accepts(TraceLevel::Debug) {
                         let at = self.now;
                         self.trace
@@ -677,18 +732,21 @@ impl Network {
         }
         let wire_len = frame.wire_len();
         let airtime = self.timing.frame_airtime(wire_len);
+        if airtime > self.max_airtime {
+            self.max_airtime = airtime;
+        }
         let start = self.now;
         let end = start + airtime;
         let (tx_power, tx_channel) = (n.power, n.channel);
         self.tx_busy_until[idx] = end;
         self.nodes[idx].energy.charge_tx(airtime, tx_power);
-        let kind = match frame.kind {
-            FrameKind::Data => "tx.data",
-            FrameKind::Ack => "tx.ack",
-            FrameKind::Beacon => "tx.beacon",
+        let (kind_id, kind) = match frame.kind {
+            FrameKind::Data => (CounterId::TxData, "tx.data"),
+            FrameKind::Ack => (CounterId::TxAck, "tx.ack"),
+            FrameKind::Beacon => (CounterId::TxBeacon, "tx.beacon"),
         };
-        self.counters.incr(kind);
-        self.counters.add("tx.bytes", wire_len as u64);
+        self.counters.incr_id(kind_id);
+        self.counters.add_id(CounterId::TxBytes, wire_len as u64);
         if self.trace.accepts(TraceLevel::Packet) {
             self.trace.emit(
                 start,
@@ -700,14 +758,14 @@ impl Network {
         let tx_id = self.next_tx;
         self.next_tx += 1;
         // Schedule receptions first so that, at the same instant, every
-        // RxEnd for this frame pops before its TxEnd.
-        for j in 0..self.nodes.len() as u16 {
+        // RxEnd for this frame pops before its TxEnd. `reachable` yields
+        // exactly the nodes `hears` accepts, ascending by id — O(degree)
+        // through the medium's candidate cache instead of O(N).
+        for j in self.medium.reachable(node, tx_power) {
             if j == node || !self.nodes[j as usize].alive {
                 continue;
             }
-            if self.medium.hears(node, j, tx_power) {
-                self.queue.push(end, Event::RxEnd { node: j, tx_id });
-            }
+            self.queue.push(end, Event::RxEnd { node: j, tx_id });
         }
         self.queue.push(end, Event::TxEnd { node, tx_id });
         self.active.insert(
@@ -718,13 +776,23 @@ impl Network {
                 power: tx_power,
                 start,
                 end,
-                frame,
+                frame: Arc::new(frame),
                 wire_len,
             },
         );
-        // Lazy prune: keep a grace window for interference lookback.
-        let horizon = self.now - SimDuration::from_millis(50);
-        self.active.retain(|_, tx| tx.end >= horizon);
+        // Lazy prune, amortized: only sweep once the table doubles past
+        // its last post-prune size. Entries older than the 50 ms grace
+        // window are invisible to every interference / CCA / half-duplex
+        // lookback, so deferring their removal is observationally inert.
+        if self.active.len() >= self.prune_at {
+            let horizon = self.now - SimDuration::from_millis(50);
+            self.active.retain(|_, tx| tx.end >= horizon);
+            // Re-arm a fixed step above the live set: the table never
+            // carries more than ~ACTIVE_PRUNE_MIN stale entries, which
+            // keeps the per-reception scans short while still amortizing
+            // each O(len) sweep over ACTIVE_PRUNE_MIN insertions.
+            self.prune_at = self.active.len() + ACTIVE_PRUNE_MIN;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -820,16 +888,16 @@ impl Network {
                                 let (ok, actions) =
                                     mac.send(FrameKind::Data, next_hop, bytes, rng);
                                 if ok {
-                                    self.counters.incr("net.originate");
+                                    self.counters.incr_id(CounterId::NetOriginate);
                                     Out::Actions(actions)
                                 } else {
-                                    self.counters.incr("net.queue_drop");
+                                    self.counters.incr_id(CounterId::NetQueueDrop);
                                     Out::None
                                 }
                             }
                             RxAction::DeliverTo { pid, packet } => Out::Local(pid, packet),
                             RxAction::Drop { reason } => {
-                                self.counters.incr(&format!("net.drop.{reason:?}"));
+                                self.counters.incr_id(reason.counter_id());
                                 Out::None
                             }
                         }
@@ -851,7 +919,7 @@ impl Network {
                 }
                 Effect::Subscribe(port) => {
                     if self.nodes[idx].stack.subscribe(port, pid).is_err() {
-                        self.counters.incr("sys.subscribe_conflict");
+                        self.counters.incr_id(CounterId::SysSubscribeConflict);
                     }
                 }
                 Effect::Unsubscribe(port) => {
@@ -868,7 +936,7 @@ impl Network {
                         Err(e) => {
                             let now = self.now;
                             self.nodes[idx].log.record(now, "spawn_fail", e.to_string());
-                            self.counters.incr("sys.spawn_fail");
+                            self.counters.incr_id(CounterId::SysSpawnFail);
                         }
                     }
                 }
@@ -877,7 +945,7 @@ impl Network {
                 }
                 Effect::Blacklist { id, value } => {
                     if !self.nodes[idx].stack.neighbors.set_blacklisted(id, value) {
-                        self.counters.incr("sys.blacklist_unknown");
+                        self.counters.incr_id(CounterId::SysBlacklistUnknown);
                     }
                 }
                 Effect::SetPower(level) => {
@@ -1320,5 +1388,86 @@ mod collision_tests {
             (audible as f64) <= hidden as f64 * 0.8,
             "carrier sensing should cut losses: audible={audible}, hidden={hidden}"
         );
+    }
+
+    /// Digest of everything a run can observably produce.
+    fn run_digest(net: &Network) -> String {
+        format!("{:?} {:?} {}", net.counters, net.node_stats(), net.events_dispatched())
+    }
+
+    fn contention_net(seed: u64) -> Network {
+        let mut net = Network::with_config(
+            hidden_terminal_medium(seed),
+            seed,
+            NetworkConfig {
+                beacons_enabled: false,
+                ..NetworkConfig::default()
+            },
+        );
+        net.spawn_process(0, Box::new(Burster { rounds: 0 }), vec![])
+            .unwrap();
+        net.spawn_process(2, Box::new(Burster { rounds: 0 }), vec![])
+            .unwrap();
+        net
+    }
+
+    /// Satellite regression: pruning `active` on a threshold must be
+    /// invisible. A run that prunes as aggressively as possible (the
+    /// old per-transmission behaviour) and a run that never prunes at
+    /// all produce identical counters, node stats, and event counts —
+    /// i.e. the 50 ms interference-lookback grace window survives
+    /// pruning at any cadence.
+    #[test]
+    fn prune_cadence_does_not_change_outcomes() {
+        for seed in [3u64, 17] {
+            let mut eager = contention_net(seed);
+            let mut step = SimTime::ZERO;
+            while step < SimTime::ZERO + SimDuration::from_secs(3) {
+                // Re-arm constantly so every transmission prunes, as the
+                // pre-threshold code did.
+                eager.prune_at = 1;
+                step += SimDuration::from_millis(10);
+                eager.run_until(step);
+            }
+
+            let mut never = contention_net(seed);
+            never.prune_at = usize::MAX;
+            never.run_for(SimDuration::from_secs(3));
+            assert!(never.active.len() > 200, "never-prune run must retain history");
+
+            assert_eq!(run_digest(&eager), run_digest(&never), "seed {seed}");
+        }
+    }
+
+    /// Tentpole regression: the reachability cache is an optimization,
+    /// not a model change. A full multi-hop run (beacons on, contention,
+    /// overridden links) is bit-identical with the cache on and off.
+    #[test]
+    fn cached_and_brute_force_medium_run_identically() {
+        let scatter = |seed: u64| {
+            let mut rng = lv_sim::SimRng::from_seed_u64(seed);
+            let positions: Vec<Position> = (0..12)
+                .map(|_| Position::new(rng.unit() * 40.0, rng.unit() * 40.0))
+                .collect();
+            Medium::new(positions, PropagationConfig::default(), seed)
+        };
+        for seed in [5u64, 29] {
+            let cached = scatter(seed);
+            assert!(cached.cache_enabled());
+            let mut brute = cached.clone();
+            brute.set_cache_enabled(false);
+
+            let digests: Vec<String> = [cached, brute]
+                .into_iter()
+                .map(|medium| {
+                    let mut net = Network::new(medium, seed);
+                    net.spawn_process(0, Box::new(Burster { rounds: 0 }), vec![])
+                        .unwrap();
+                    net.run_for(SimDuration::from_secs(5));
+                    run_digest(&net)
+                })
+                .collect();
+            assert_eq!(digests[0], digests[1], "seed {seed}");
+        }
     }
 }

@@ -9,15 +9,19 @@
 use crate::csma::{CsmaConfig, CsmaMachine, MacAction};
 use crate::frame::{Frame, FrameKind, BROADCAST};
 use crate::queue::TxQueue;
-use lv_sim::{Counters, SimRng};
+use lv_sim::{CounterId, Counters, SimRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A frame handed up to the network layer, with the PHY metadata the
 /// LiteView commands report.
+///
+/// The frame is shared (not cloned) across the fan-out of one broadcast:
+/// every receiver of the same transmission sees the same `Arc<Frame>`.
 #[derive(Debug, Clone)]
 pub struct Reception {
     /// The decoded frame.
-    pub frame: Frame,
+    pub frame: Arc<Frame>,
     /// RSSI register value of this reception.
     pub rssi: i8,
     /// LQI of this reception.
@@ -63,15 +67,15 @@ impl Mac {
     fn note(&mut self, actions: &[MacAction]) {
         for a in actions {
             match a {
-                MacAction::StartTx { .. } => self.counters.incr("mac.tx_attempt"),
+                MacAction::StartTx { .. } => self.counters.incr_id(CounterId::MacTxAttempt),
                 MacAction::Delivered { retries, .. } => {
-                    self.counters.incr("mac.delivered");
-                    self.counters.add("mac.retries", u64::from(*retries));
+                    self.counters.incr_id(CounterId::MacDelivered);
+                    self.counters.add_id(CounterId::MacRetries, u64::from(*retries));
                 }
                 MacAction::Failed { reason, .. } => {
-                    self.counters.incr(&format!("mac.failed.{reason:?}"));
+                    self.counters.incr_id(reason.counter_id());
                 }
-                MacAction::Anomaly { .. } => self.counters.incr("mac.anomaly"),
+                MacAction::Anomaly { .. } => self.counters.incr_id(CounterId::MacAnomaly),
                 _ => {}
             }
         }
@@ -117,10 +121,10 @@ impl Mac {
             payload,
         };
         if !self.queue.push(frame) {
-            self.counters.incr("mac.queue_drop");
+            self.counters.incr_id(CounterId::MacQueueDrop);
             return (false, Vec::new());
         }
-        self.counters.incr("mac.submit");
+        self.counters.incr_id(CounterId::MacSubmit);
         let actions = self.pump(rng);
         self.note(&actions);
         (true, actions)
@@ -157,8 +161,11 @@ impl Mac {
         let a = self.csma.on_cca(token, clear, rng);
         if !a.is_empty() {
             // A fresh (non-stale) assessment; stale ones return nothing.
-            self.counters
-                .incr(if clear { "mac.cca_clear" } else { "mac.cca_busy" });
+            self.counters.incr_id(if clear {
+                CounterId::MacCcaClear
+            } else {
+                CounterId::MacCcaBusy
+            });
         }
         self.chain(a, rng)
     }
@@ -173,7 +180,7 @@ impl Mac {
     pub fn on_ack_timeout(&mut self, token: u64, rng: &mut SimRng) -> Vec<MacAction> {
         let a = self.csma.on_ack_timeout(token, rng);
         if !a.is_empty() {
-            self.counters.incr("mac.ack_timeout");
+            self.counters.incr_id(CounterId::MacAckTimeout);
         }
         self.chain(a, rng)
     }
@@ -235,7 +242,7 @@ mod tests {
 
     fn rx(frame: Frame) -> Reception {
         Reception {
-            frame,
+            frame: Arc::new(frame),
             rssi: -5,
             lqi: 106,
             snr_db: 30.0,

@@ -46,6 +46,19 @@ pub enum DropReason {
     NoListener,
 }
 
+impl DropReason {
+    /// The interned counter this drop increments — same name the string
+    /// path would have produced via `format!("net.drop.{self:?}")`.
+    pub fn counter_id(self) -> lv_sim::CounterId {
+        match self {
+            DropReason::NoRoute => lv_sim::CounterId::NetDropNoRoute,
+            DropReason::Duplicate => lv_sim::CounterId::NetDropDuplicate,
+            DropReason::TtlExpired => lv_sim::CounterId::NetDropTtlExpired,
+            DropReason::NoListener => lv_sim::CounterId::NetDropNoListener,
+        }
+    }
+}
+
 /// A router's verdict for one packet at one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouteDecision {

@@ -13,7 +13,7 @@ use crate::padding::HopQuality;
 use crate::ports::{PortMap, ProcessId, SubscribeError, KERNEL_PID};
 use crate::routing::{DropReason, RouteCtx, RouteDecision, Router};
 use lv_radio::units::Position;
-use lv_sim::{Counters, SimDuration, SimTime};
+use lv_sim::{CounterId, Counters, SimDuration, SimTime};
 
 /// Stack tunables.
 #[derive(Debug, Clone, Copy)]
@@ -285,7 +285,7 @@ impl Stack {
             return match decision {
                 RouteDecision::Deliver => self.deliver(packet),
                 RouteDecision::Forward { next_hop } => {
-                    self.counters.incr("net.originate");
+                    self.counters.incr_id(CounterId::NetOriginate);
                     RxAction::Forward { next_hop, packet }
                 }
                 RouteDecision::Drop(reason) => self.drop(reason),
@@ -297,7 +297,7 @@ impl Stack {
         if packet.header.dst == self.me {
             return self.deliver(packet);
         }
-        self.counters.incr("net.originate");
+        self.counters.incr_id(CounterId::NetOriginate);
         let next_hop = packet.header.dst;
         RxAction::Forward { next_hop, packet }
     }
@@ -319,9 +319,9 @@ impl Stack {
             // 64-byte packet cap — exactly the blind spot Section IV.C.3
             // warns long paths run into.
             if packet.append_hop_quality(hop) {
-                self.counters.incr("padding.appended");
+                self.counters.incr_id(CounterId::PaddingAppended);
             } else {
-                self.counters.incr("padding.capped");
+                self.counters.incr_id(CounterId::PaddingCapped);
             }
         }
         if let Some(idx) = self.router_on(packet.header.port) {
@@ -339,7 +339,7 @@ impl Stack {
                     if packet.header.ttl == 0 {
                         self.drop(DropReason::TtlExpired)
                     } else {
-                        self.counters.incr("net.forward");
+                        self.counters.incr_id(CounterId::NetForward);
                         RxAction::Forward { next_hop, packet }
                     }
                 }
@@ -354,7 +354,7 @@ impl Stack {
     fn deliver(&mut self, packet: NetPacket) -> RxAction {
         match self.ports.lookup(packet.header.app_port) {
             Some(pid) => {
-                self.counters.incr("net.deliver");
+                self.counters.incr_id(CounterId::NetDeliver);
                 RxAction::DeliverTo { pid, packet }
             }
             None => self.drop(DropReason::NoListener),
@@ -362,7 +362,7 @@ impl Stack {
     }
 
     fn drop(&mut self, reason: DropReason) -> RxAction {
-        self.counters.incr(&format!("net.drop.{reason:?}"));
+        self.counters.incr_id(reason.counter_id());
         RxAction::Drop { reason }
     }
 
@@ -381,9 +381,9 @@ impl Stack {
 
     /// Apply a received neighbor beacon.
     pub fn on_beacon(&mut self, from: u16, beacon: &BeaconPayload, now: SimTime) {
-        self.counters.incr("net.beacon_rx");
+        self.counters.incr_id(CounterId::NetBeaconRx);
         if self.neighbors.get(from).is_none() {
-            self.counters.incr("net.neighbor_new");
+            self.counters.incr_id(CounterId::NetNeighborNew);
         }
         let ours = beacon.quality_of(self.me);
         self.neighbors.on_beacon(
@@ -403,7 +403,7 @@ impl Stack {
         self.neighbors.expire(now, self.config.neighbor_timeout);
         let expired = before.saturating_sub(self.neighbors.len());
         if expired > 0 {
-            self.counters.add("net.neighbor_expired", expired as u64);
+            self.counters.add_id(CounterId::NetNeighborExpired, expired as u64);
         }
     }
 }

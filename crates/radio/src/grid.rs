@@ -1,0 +1,211 @@
+//! A uniform spatial hash over node positions.
+//!
+//! The reachability cache in [`crate::medium`] needs "which nodes could
+//! possibly lie within range `r` of this point?" without scanning every
+//! node. A uniform grid answers that: nodes are bucketed by cell, and a
+//! range query visits only the cells overlapping the query square.
+//!
+//! The grid is deliberately forgiving: positions outside the bounding
+//! box observed at build time are clamped into the edge cells, and
+//! queries clamp the same way, so a node that wanders off the original
+//! deployment area is still *found* by any query whose true range
+//! reaches it (the clamp can only enlarge the visited set, never shrink
+//! the correct one). Callers must re-check the exact predicate (distance
+//! / path loss) on every id a query yields.
+
+use crate::units::Position;
+
+/// A uniform grid of node-id buckets.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    /// Cell edge length, meters. Non-finite ⇒ degenerate single cell.
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// Node ids per cell, row-major. Ids inside one cell stay sorted so
+    /// full-grid walks visit nodes deterministically.
+    cells: Vec<Vec<u16>>,
+}
+
+/// Cap on cells per axis: bounds memory for sparse, far-flung layouts.
+const MAX_CELLS_PER_AXIS: usize = 256;
+
+impl SpatialGrid {
+    /// Build a grid over `positions` (indexed by node id) with cells of
+    /// roughly `cell` meters. A non-finite or non-positive `cell` (an
+    /// unbounded radio range) collapses to one bucket holding everyone,
+    /// which keeps queries correct at the cost of pruning nothing.
+    pub fn new(positions: &[Position], cell: f64) -> Self {
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in positions {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let degenerate = positions.is_empty() || !cell.is_finite() || cell <= 0.0;
+        let (cols, rows, cell) = if degenerate {
+            (1, 1, 1.0)
+        } else {
+            let cols = (((max_x - min_x) / cell).floor() as usize + 1).min(MAX_CELLS_PER_AXIS);
+            let rows = (((max_y - min_y) / cell).floor() as usize + 1).min(MAX_CELLS_PER_AXIS);
+            (cols.max(1), rows.max(1), cell)
+        };
+        let mut grid = SpatialGrid {
+            cell,
+            min_x: if min_x.is_finite() { min_x } else { 0.0 },
+            min_y: if min_y.is_finite() { min_y } else { 0.0 },
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+        };
+        for (id, p) in positions.iter().enumerate() {
+            let c = grid.cell_of(*p);
+            grid.cells[c].push(id as u16);
+        }
+        grid
+    }
+
+    /// Index of the cell containing `p`, clamped into the grid.
+    fn cell_of(&self, p: Position) -> usize {
+        let col = self.axis_index(p.x, self.min_x, self.cols);
+        let row = self.axis_index(p.y, self.min_y, self.rows);
+        row * self.cols + col
+    }
+
+    fn axis_index(&self, v: f64, min: f64, n: usize) -> usize {
+        let i = ((v - min) / self.cell).floor();
+        if i.is_nan() || i < 0.0 {
+            0
+        } else {
+            (i as usize).min(n - 1)
+        }
+    }
+
+    /// Move node `id` from `old` to `new`, updating bucket membership.
+    pub fn move_node(&mut self, id: u16, old: Position, new: Position) {
+        let from = self.cell_of(old);
+        let to = self.cell_of(new);
+        if from == to {
+            return;
+        }
+        if let Some(i) = self.cells[from].iter().position(|&x| x == id) {
+            self.cells[from].remove(i);
+        }
+        let bucket = &mut self.cells[to];
+        let at = bucket.partition_point(|&x| x < id);
+        bucket.insert(at, id);
+    }
+
+    /// Visit every node id whose cell overlaps the axis-aligned square
+    /// of half-width `r` around `center`. Ids may repeat across calls
+    /// but not within one call; order is cell-major and ascending inside
+    /// a cell. A non-finite `r` visits everyone.
+    pub fn for_each_in_square(&self, center: Position, r: f64, mut f: impl FnMut(u16)) {
+        let (c0, c1, r0, r1) = if r.is_finite() {
+            (
+                self.axis_index(center.x - r, self.min_x, self.cols),
+                self.axis_index(center.x + r, self.min_x, self.cols),
+                self.axis_index(center.y - r, self.min_y, self.rows),
+                self.axis_index(center.y + r, self.min_y, self.rows),
+            )
+        } else {
+            (0, self.cols - 1, 0, self.rows - 1)
+        };
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                for &id in &self.cells[row * self.cols + col] {
+                    f(id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(grid: &SpatialGrid, center: Position, r: f64) -> Vec<u16> {
+        let mut out = Vec::new();
+        grid.for_each_in_square(center, r, |id| out.push(id));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn query_superset_of_true_disc() {
+        // 10×10 lattice, 5 m pitch; every node within true distance r of
+        // the query point must be yielded.
+        let positions: Vec<Position> = (0..100)
+            .map(|i| Position::new((i % 10) as f64 * 5.0, (i / 10) as f64 * 5.0))
+            .collect();
+        let grid = SpatialGrid::new(&positions, 12.0);
+        let center = Position::new(22.0, 17.0);
+        let r = 12.0;
+        let got = collect(&grid, center, r);
+        for (id, p) in positions.iter().enumerate() {
+            if center.distance(*p).0 <= r {
+                assert!(got.contains(&(id as u16)), "missing node {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_range_visits_everyone() {
+        let positions: Vec<Position> =
+            (0..7).map(|i| Position::new(i as f64 * 100.0, 0.0)).collect();
+        let grid = SpatialGrid::new(&positions, f64::INFINITY);
+        assert_eq!(collect(&grid, Position::new(0.0, 0.0), f64::INFINITY).len(), 7);
+        let bounded = SpatialGrid::new(&positions, 10.0);
+        assert_eq!(
+            collect(&bounded, Position::new(0.0, 0.0), f64::INFINITY).len(),
+            7
+        );
+    }
+
+    #[test]
+    fn moved_node_found_at_new_location() {
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(50.0, 0.0),
+            Position::new(100.0, 0.0),
+        ];
+        let mut grid = SpatialGrid::new(&positions, 10.0);
+        grid.move_node(0, positions[0], Position::new(100.0, 0.0));
+        let near_end = collect(&grid, Position::new(100.0, 0.0), 5.0);
+        assert!(near_end.contains(&0));
+        assert!(near_end.contains(&2));
+        assert!(!collect(&grid, Position::new(0.0, 0.0), 5.0).contains(&0));
+    }
+
+    #[test]
+    fn out_of_bbox_positions_clamp_but_stay_reachable() {
+        let positions = vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0)];
+        let mut grid = SpatialGrid::new(&positions, 5.0);
+        // Node 1 wanders far outside the original bounding box.
+        let far = Position::new(500.0, -300.0);
+        grid.move_node(1, positions[1], far);
+        // Any query whose true range reaches it must still find it.
+        let got = collect(&grid, Position::new(490.0, -295.0), 20.0);
+        assert!(got.contains(&1));
+    }
+
+    #[test]
+    fn single_node_and_coincident_nodes() {
+        let grid = SpatialGrid::new(&[Position::new(3.0, 3.0)], 1.0);
+        assert_eq!(collect(&grid, Position::new(3.0, 3.0), 0.5), vec![0]);
+        let same = vec![Position::new(1.0, 1.0); 5];
+        let grid = SpatialGrid::new(&same, 2.0);
+        assert_eq!(collect(&grid, Position::new(1.0, 1.0), 0.1), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_grid_yields_nothing() {
+        let grid = SpatialGrid::new(&[], 5.0);
+        assert!(collect(&grid, Position::new(0.0, 0.0), 100.0).is_empty());
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod channel;
 pub mod energy;
+pub mod grid;
 pub mod lqi;
 pub mod medium;
 pub mod per;
@@ -37,7 +38,8 @@ pub mod units;
 pub use channel::Channel;
 pub use energy::EnergyLedger;
 pub use lqi::lqi_from_snr;
-pub use medium::{LinkOverride, Medium, RxAssessment};
+pub use grid::SpatialGrid;
+pub use medium::{LinkOverride, Medium, Reachable, RxAssessment};
 pub use per::{ber_oqpsk, packet_error_rate};
 pub use power::PowerLevel;
 pub use propagation::{LogDistance, PropagationConfig};

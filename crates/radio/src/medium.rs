@@ -11,6 +11,7 @@
 //! aggregate interference power, so the medium itself stays stateless
 //! about time.
 
+use crate::grid::SpatialGrid;
 use crate::lqi::lqi_from_snr;
 use crate::per::packet_error_rate;
 use crate::power::PowerLevel;
@@ -19,6 +20,45 @@ use crate::rssi::rssi_register;
 use crate::units::{Dbm, Meters, Position};
 use lv_sim::SimRng;
 use std::collections::HashMap;
+
+/// Hard bound on `|SimRng::gaussian()|`. Box–Muller draws
+/// `sqrt(-2·ln u1)·cos θ` with `u1 = (1 − unit()).max(f64::MIN_POSITIVE)`
+/// and `unit()` built from the top 53 bits, so `u1 ≥ 2⁻⁵³` and
+/// `|z| ≤ sqrt(2·53·ln 2) ≈ 8.5717`. This makes the spatial prefilter
+/// *exact*: no admissible shadowing draw can push a link past the range
+/// bound derived from it.
+const GAUSSIAN_HARD_BOUND: f64 = 8.572;
+
+/// One cached directed link in a sender's candidate list.
+#[derive(Debug, Clone, Copy)]
+struct CandidateLink {
+    to: u16,
+    /// Frozen mean path loss (distance term + per-link shadowing), dB.
+    /// Bit-identical to `LogDistance::mean_path_loss_db` at the current
+    /// positions.
+    pl_db: f64,
+    /// Copy of the link override's extra loss (0 without an override),
+    /// kept in sync by `set_override`/`clear_override`.
+    extra_loss_db: f64,
+}
+
+/// The memoized reachability structure: a spatial grid plus per-sender
+/// candidate-receiver lists qualified at `PowerLevel::MAX` (a superset
+/// of [`Medium::hears`] for every power level, since the register→dBm
+/// map is monotone).
+#[derive(Debug, Clone)]
+struct LinkCache {
+    grid: SpatialGrid,
+    /// Conservative qualification range: beyond this true distance no
+    /// link can pass `hears` even with the strongest possible shadowing
+    /// boost (see [`GAUSSIAN_HARD_BOUND`]). Overridden links are exempt
+    /// and always evaluated explicitly.
+    max_range: f64,
+    /// Candidate receivers per sender, ascending by node id (the event
+    /// loop's RxEnd schedule order). Dead state is *not* baked in — it
+    /// is checked per query, so `set_dead` needs no invalidation.
+    candidates: Vec<Vec<CandidateLink>>,
+}
 
 /// Per-directed-link modifier used for failure and asymmetry injection.
 #[derive(Debug, Clone, Copy, Default)]
@@ -74,14 +114,24 @@ pub struct Medium {
     overrides: HashMap<(u16, u16), LinkOverride>,
     /// Nodes whose radio is administratively dead (failure injection).
     dead: Vec<bool>,
+    /// Memoized link gains + candidate lists; `None` runs every query
+    /// through the original brute-force computation (the two paths are
+    /// bit-identical — see `set_cache_enabled`).
+    cache: Option<LinkCache>,
 }
 
 impl Medium {
     /// Build a medium for `positions` (indexed by node id) with default
     /// CC2420-class constants.
+    ///
+    /// The reachability cache is built eagerly (O(N·degree) shadowing
+    /// draws); set the `LV_MEDIUM_BRUTE` environment variable to any
+    /// value to skip it and run every query brute-force — results are
+    /// identical, only the cost profile changes (used for A/B
+    /// benchmarking and regression tests).
     pub fn new(positions: Vec<Position>, config: PropagationConfig, seed: u64) -> Self {
         let n = positions.len();
-        Medium {
+        let mut medium = Medium {
             positions,
             propagation: LogDistance::new(config, seed),
             noise_floor: Dbm(-98.0),
@@ -89,6 +139,136 @@ impl Medium {
             cca_threshold: Dbm(-77.0),
             overrides: HashMap::new(),
             dead: vec![false; n],
+            cache: None,
+        };
+        if std::env::var_os("LV_MEDIUM_BRUTE").is_none() {
+            medium.rebuild_cache();
+        }
+        medium
+    }
+
+    /// Enable (rebuild) or disable the candidate/gain cache. Every
+    /// public query returns bit-identical results either way; disabled
+    /// mode restores the seed's O(N) scans and is kept as the benchmark
+    /// baseline and the property-test reference.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        if !enabled {
+            self.cache = None;
+        } else if self.cache.is_none() {
+            // The cache is maintained incrementally by every mutator, so
+            // an already-enabled cache is current — only build on the
+            // disabled→enabled edge.
+            self.rebuild_cache();
+        }
+    }
+
+    /// Whether the candidate/gain cache is active.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Conservative upper bound on the distance at which a link without
+    /// an override can still pass [`Medium::hears`]: solve the path-loss
+    /// budget at `PowerLevel::MAX` against the hears floor, crediting
+    /// the largest shadowing boost the RNG can physically produce.
+    fn max_qualify_range(&self) -> f64 {
+        let cfg = self.propagation.config();
+        if cfg.exponent <= 0.0 {
+            return f64::INFINITY; // loss does not grow with distance
+        }
+        let budget = PowerLevel::MAX.dbm().0 - (self.sensitivity.0 - 6.0)
+            + GAUSSIAN_HARD_BOUND * cfg.shadow_sigma_db
+            - cfg.pl_d0_db;
+        // Inflate slightly: the grid prefilter may only ever err on the
+        // side of visiting too many nodes.
+        cfg.d0.0 * 10f64.powf(budget / (10.0 * cfg.exponent)) * 1.000001 + 1e-6
+    }
+
+    /// Rebuild the whole cache from current positions and overrides.
+    fn rebuild_cache(&mut self) {
+        let r = self.max_qualify_range();
+        let grid = SpatialGrid::new(&self.positions, r);
+        let candidates = (0..self.positions.len() as u16)
+            .map(|from| self.build_sender_list(from, &grid, r))
+            .collect();
+        self.cache = Some(LinkCache {
+            grid,
+            max_range: r,
+            candidates,
+        });
+    }
+
+    /// Candidate list for one sender: grid-bounded scan plus every
+    /// overridden link (an override can extend range, so those bypass
+    /// the distance prefilter entirely).
+    fn build_sender_list(&self, from: u16, grid: &SpatialGrid, r: f64) -> Vec<CandidateLink> {
+        let mut ids: Vec<u16> = Vec::new();
+        grid.for_each_in_square(self.positions[from as usize], r, |id| ids.push(id));
+        for &(a, b) in self.overrides.keys() {
+            if a == from {
+                ids.push(b);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter()
+            .filter_map(|to| self.qualify(from, to))
+            .collect()
+    }
+
+    /// Evaluate one directed link for candidacy at `PowerLevel::MAX`,
+    /// using the exact float operations of `mean_rx_power`/`hears`.
+    ///
+    /// The bulk of the build cost is the shadowing draw, so the path
+    /// loss goes through the early-out qualifier with a slack-inflated
+    /// ceiling (the algebraic rearrangement of the `hears` floor can
+    /// drift a few ULPs from the original subtraction order); survivors
+    /// are re-checked with the exact original expression, keeping
+    /// candidacy bit-for-bit faithful.
+    fn qualify(&self, from: u16, to: u16) -> Option<CandidateLink> {
+        let ov = self.overrides.get(&(from, to)).copied().unwrap_or_default();
+        if ov.blocked {
+            return None;
+        }
+        let d = self.link_distance(from, to);
+        let ceiling =
+            PowerLevel::MAX.dbm().0 - ov.extra_loss_db - (self.sensitivity.0 - 6.0) + 1e-9;
+        let pl = self
+            .propagation
+            .mean_path_loss_db_if_at_most(from, to, d, ceiling)?;
+        let p = (PowerLevel::MAX.dbm() - pl) - ov.extra_loss_db;
+        if p.0 >= self.sensitivity.0 - 6.0 {
+            Some(CandidateLink {
+                to,
+                pl_db: pl,
+                extra_loss_db: ov.extra_loss_db,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Re-evaluate a single directed link and patch the sender's sorted
+    /// candidate list in place. No-op without a cache.
+    fn requalify_link(&mut self, from: u16, to: u16) {
+        if self.cache.is_none() {
+            return;
+        }
+        let link = self.qualify(from, to);
+        let list = &mut self
+            .cache
+            .as_mut()
+            .expect("checked above")
+            .candidates[from as usize];
+        let idx = list.partition_point(|c| c.to < to);
+        let present = list.get(idx).is_some_and(|c| c.to == to);
+        match (link, present) {
+            (Some(l), true) => list[idx] = l,
+            (Some(l), false) => list.insert(idx, l),
+            (None, true) => {
+                list.remove(idx);
+            }
+            (None, false) => {}
         }
     }
 
@@ -103,8 +283,42 @@ impl Medium {
     }
 
     /// Move node `id` (the "adjusting node positions" management action).
+    ///
+    /// Cache invalidation is precise: the moved node's own candidate
+    /// list is rebuilt, and only senders within qualification range of
+    /// the old or new position (plus senders holding an override toward
+    /// `id`) have their `→ id` link re-evaluated.
     pub fn set_position(&mut self, id: u16, pos: Position) {
+        let old = self.positions[id as usize];
         self.positions[id as usize] = pos;
+        if self.cache.is_none() {
+            return;
+        }
+        let (r, mut affected) = {
+            let cache = self.cache.as_mut().expect("checked above");
+            cache.grid.move_node(id, old, pos);
+            let mut affected: Vec<u16> = Vec::new();
+            cache.grid.for_each_in_square(old, cache.max_range, |s| affected.push(s));
+            cache.grid.for_each_in_square(pos, cache.max_range, |s| affected.push(s));
+            (cache.max_range, affected)
+        };
+        for &(a, b) in self.overrides.keys() {
+            if b == id {
+                affected.push(a);
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let list = {
+            let cache = self.cache.as_ref().expect("checked above");
+            self.build_sender_list(id, &cache.grid, r)
+        };
+        self.cache.as_mut().expect("checked above").candidates[id as usize] = list;
+        for s in affected {
+            if s != id {
+                self.requalify_link(s, id);
+            }
+        }
     }
 
     /// The noise floor.
@@ -123,13 +337,17 @@ impl Medium {
     }
 
     /// Apply a directed-link override (failure / asymmetry injection).
+    /// Invalidates exactly the one affected cached link.
     pub fn set_override(&mut self, from: u16, to: u16, ov: LinkOverride) {
         self.overrides.insert((from, to), ov);
+        self.requalify_link(from, to);
     }
 
-    /// Remove a directed-link override.
+    /// Remove a directed-link override. Invalidates exactly the one
+    /// affected cached link.
     pub fn clear_override(&mut self, from: u16, to: u16) {
         self.overrides.remove(&(from, to));
+        self.requalify_link(from, to);
     }
 
     /// Administratively kill / revive a node's radio.
@@ -146,6 +364,24 @@ impl Medium {
         self.positions[from as usize].distance(self.positions[to as usize])
     }
 
+    /// Mean path loss for a directed link: cached when the link is a
+    /// candidate, recomputed from scratch otherwise. The cached value is
+    /// the same pure function of `(seed, positions, config)`, so both
+    /// branches return the identical `f64`.
+    fn pl_db(&self, from: u16, to: u16) -> f64 {
+        if let Some(cache) = &self.cache {
+            let list = &cache.candidates[from as usize];
+            let idx = list.partition_point(|c| c.to < to);
+            if let Some(c) = list.get(idx) {
+                if c.to == to {
+                    return c.pl_db;
+                }
+            }
+        }
+        self.propagation
+            .mean_path_loss_db(from, to, self.link_distance(from, to))
+    }
+
     /// Expected (fading-free) received power on the directed link.
     /// Returns `None` if either radio is dead or the link is blocked.
     pub fn mean_rx_power(&self, from: u16, to: u16, power: PowerLevel) -> Option<Dbm> {
@@ -156,11 +392,33 @@ impl Medium {
         if ov.blocked {
             return None;
         }
-        let d = self.link_distance(from, to);
-        let p = self
-            .propagation
-            .mean_received_power(power.dbm(), from, to, d);
+        let p = power.dbm() - self.pl_db(from, to);
         Some(p - ov.extra_loss_db)
+    }
+
+    /// Iterate the plausible receivers of a transmission by `from` at
+    /// `power`, ascending by node id — exactly the set for which
+    /// [`Medium::hears`] returns `true`, but O(degree) with the cache
+    /// instead of O(N). May include `from` itself; the event loop skips
+    /// it. Dead receivers are filtered, dead senders yield nothing.
+    pub fn reachable(&self, from: u16, power: PowerLevel) -> Reachable<'_> {
+        let inner = if self.dead[from as usize] {
+            ReachableInner::Empty
+        } else if let Some(cache) = &self.cache {
+            ReachableInner::Cached(cache.candidates[from as usize].iter())
+        } else {
+            ReachableInner::Brute {
+                from,
+                next: 0,
+                count: self.positions.len() as u16,
+            }
+        };
+        Reachable {
+            medium: self,
+            power,
+            tx_dbm: power.dbm(),
+            inner,
+        }
     }
 
     /// Whether `to` can plausibly synchronize to frames from `from` at
@@ -196,10 +454,9 @@ impl Medium {
         if ov.blocked {
             return None;
         }
-        let d = self.link_distance(from, to);
         let rx_power = self
             .propagation
-            .received_power(power.dbm(), from, to, d, rng)
+            .received_power_from_pl(power.dbm(), self.pl_db(from, to), rng)
             - ov.extra_loss_db;
         if rx_power.0 < self.sensitivity.0 {
             return None; // below sync threshold: the radio never sees it
@@ -234,6 +491,59 @@ impl Medium {
         };
         let jitter = rng.normal(0.0, 1.0);
         mean.0 + jitter >= self.cca_threshold.0
+    }
+}
+
+/// Iterator over the plausible receivers of one transmission, yielded
+/// ascending by node id. Produced by [`Medium::reachable`].
+#[derive(Debug)]
+pub struct Reachable<'a> {
+    medium: &'a Medium,
+    power: PowerLevel,
+    tx_dbm: Dbm,
+    inner: ReachableInner<'a>,
+}
+
+#[derive(Debug)]
+enum ReachableInner<'a> {
+    /// Walk the sender's candidate list; re-check power and liveness.
+    Cached(std::slice::Iter<'a, CandidateLink>),
+    /// No cache: scan every node through the brute-force predicate.
+    Brute { from: u16, next: u16, count: u16 },
+    /// Dead sender.
+    Empty,
+}
+
+impl Iterator for Reachable<'_> {
+    type Item = u16;
+
+    fn next(&mut self) -> Option<u16> {
+        match &mut self.inner {
+            ReachableInner::Cached(iter) => {
+                for c in iter {
+                    if self.medium.dead[c.to as usize] {
+                        continue;
+                    }
+                    // Same float ops as mean_rx_power: Dbm − f64, twice.
+                    let p = (self.tx_dbm - c.pl_db) - c.extra_loss_db;
+                    if p.0 >= self.medium.sensitivity.0 - 6.0 {
+                        return Some(c.to);
+                    }
+                }
+                None
+            }
+            ReachableInner::Brute { from, next, count } => {
+                while *next < *count {
+                    let to = *next;
+                    *next += 1;
+                    if self.medium.hears(*from, to, self.power) {
+                        return Some(to);
+                    }
+                }
+                None
+            }
+            ReachableInner::Empty => None,
+        }
     }
 }
 
@@ -373,5 +683,107 @@ mod tests {
         let after = m.mean_rx_power(0, 1, PowerLevel::MAX).unwrap();
         assert!(after.0 < before.0 - 20.0);
         assert_eq!(m.position(1), Position::new(50.0, 0.0));
+    }
+
+    /// A scattered 40-node layout with a mix of link qualities.
+    fn scatter_medium(seed: u64) -> Medium {
+        let mut rng = SimRng::from_seed_u64(seed);
+        let positions = (0..40)
+            .map(|_| Position::new(rng.unit() * 120.0, rng.unit() * 120.0))
+            .collect();
+        Medium::new(positions, PropagationConfig::default(), seed)
+    }
+
+    fn assert_media_agree(cached: &Medium, brute: &Medium, seed: u64) {
+        assert!(cached.cache_enabled() && !brute.cache_enabled());
+        let n = 40u16;
+        for power in [PowerLevel::MIN, PowerLevel::new(17).unwrap(), PowerLevel::MAX] {
+            for from in 0..n {
+                let via_iter: Vec<u16> = cached.reachable(from, power).collect();
+                let brute_set: Vec<u16> = brute.reachable(from, power).collect();
+                assert_eq!(via_iter, brute_set, "reachable({from}) at {power:?}");
+                for to in 0..n {
+                    assert_eq!(
+                        cached.mean_rx_power(from, to, power),
+                        brute.mean_rx_power(from, to, power),
+                        "mean_rx_power({from},{to})"
+                    );
+                    let mut r1 = SimRng::stream(seed, 0xA55E55 ^ u64::from(from) << 16);
+                    let mut r2 = r1.clone();
+                    let a1 = cached.assess(from, to, power, 40, 0.0, &mut r1);
+                    let a2 = brute.assess(from, to, power, 40, 0.0, &mut r2);
+                    assert_eq!(format!("{a1:?}"), format!("{a2:?}"), "assess({from},{to})");
+                    // Same number of draws consumed ⇒ streams stay aligned.
+                    assert_eq!(
+                        r1.next_u64(),
+                        r2.next_u64(),
+                        "rng desync after assess({from},{to})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_matches_brute_force_on_static_topology() {
+        let cached = scatter_medium(11);
+        let mut brute = cached.clone();
+        brute.set_cache_enabled(false);
+        assert_media_agree(&cached, &brute, 11);
+    }
+
+    #[test]
+    fn cache_matches_brute_force_after_mutations() {
+        let mut cached = scatter_medium(23);
+        let mut brute = cached.clone();
+        brute.set_cache_enabled(false);
+        for (m, positions_known) in [(&mut cached, true), (&mut brute, false)] {
+            let _ = positions_known;
+            m.set_position(5, Position::new(300.0, 300.0)); // off the original bbox
+            m.set_position(7, Position::new(0.5, 0.5));
+            m.set_dead(3, true);
+            m.set_override(
+                1,
+                2,
+                LinkOverride {
+                    blocked: true,
+                    extra_loss_db: 0.0,
+                },
+            );
+            m.set_override(
+                8,
+                9,
+                LinkOverride {
+                    blocked: false,
+                    extra_loss_db: -40.0, // negative loss: extends range past the prefilter
+                },
+            );
+            m.set_override(
+                4,
+                6,
+                LinkOverride {
+                    blocked: false,
+                    extra_loss_db: 60.0,
+                },
+            );
+            m.clear_override(4, 6);
+            m.set_dead(3, false);
+        }
+        assert_media_agree(&cached, &brute, 23);
+    }
+
+    #[test]
+    fn reenabling_cache_rebuilds_it() {
+        let mut m = scatter_medium(31);
+        let reference: Vec<u16> = m.reachable(0, PowerLevel::MAX).collect();
+        m.set_cache_enabled(false);
+        m.set_position(0, Position::new(60.0, 60.0));
+        m.set_cache_enabled(true);
+        let mut brute = m.clone();
+        brute.set_cache_enabled(false);
+        let after: Vec<u16> = m.reachable(0, PowerLevel::MAX).collect();
+        let expect: Vec<u16> = brute.reachable(0, PowerLevel::MAX).collect();
+        assert_eq!(after, expect);
+        let _ = reference;
     }
 }

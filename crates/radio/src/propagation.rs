@@ -90,6 +90,42 @@ impl LogDistance {
         rng.normal(0.0, self.config.shadow_sigma_db)
     }
 
+    /// [`Self::mean_path_loss_db`] with an early-out for bulk
+    /// qualification: returns the exact path loss when it is at most
+    /// `ceiling_db`, `None` otherwise.
+    ///
+    /// The Box–Muller radius bounds the shadowing magnitude, so a link
+    /// whose distance term already exceeds the ceiling by more than
+    /// `σ·radius` is rejected after a single uniform draw — skipping the
+    /// cosine for the overwhelming majority of far pairs. The shadowing
+    /// stream is throwaway (freshly seeded per link), so the shorter
+    /// draw count is unobservable. When the value is produced, it is
+    /// bit-identical to `mean_path_loss_db` (same operations, same
+    /// order).
+    pub fn mean_path_loss_db_if_at_most(
+        &self,
+        a: u16,
+        b: u16,
+        d: Meters,
+        ceiling_db: f64,
+    ) -> Option<f64> {
+        let dist = d.0.max(self.config.d0.0 * 0.1); // never below 0.1·d0
+        let distance_term = self.config.pl_d0_db
+            + 10.0 * self.config.exponent * (dist / self.config.d0.0).log10();
+        let sigma = self.config.shadow_sigma_db;
+        let label = 0x5348_4144_0000_0000 | ((a as u64) << 16) | b as u64;
+        let mut rng = SimRng::from_seed_u64(derive_seed(self.seed, label));
+        let radius = rng.gaussian_radius();
+        // Most negative shadow this draw can still produce. Rounding is
+        // monotone, so the full value can never undershoot this bound.
+        if distance_term - sigma.abs() * radius > ceiling_db {
+            return None;
+        }
+        let shadow = 0.0 + sigma * (radius * rng.gaussian_angle());
+        let pl = distance_term + shadow;
+        (pl <= ceiling_db).then_some(pl)
+    }
+
     /// Received power for a transmission at `tx_dbm` over the directed
     /// link `a → b` at distance `d`, with one fast-fading draw taken from
     /// `fading_rng` (pass a per-receiver stream).
@@ -102,6 +138,14 @@ impl LogDistance {
         fading_rng: &mut SimRng,
     ) -> Dbm {
         let pl = self.mean_path_loss_db(a, b, d);
+        self.received_power_from_pl(tx_dbm, pl, fading_rng)
+    }
+
+    /// Received power given an already-known mean path loss — the entry
+    /// point the medium's link cache uses. Must perform the exact float
+    /// operations (and fading draw) of [`LogDistance::received_power`],
+    /// so cached and recomputed paths stay bit-identical.
+    pub fn received_power_from_pl(&self, tx_dbm: Dbm, pl: f64, fading_rng: &mut SimRng) -> Dbm {
         let fading = if self.config.fading_sigma_db > 0.0 {
             fading_rng.normal(0.0, self.config.fading_sigma_db)
         } else {
@@ -201,6 +245,35 @@ mod tests {
         }
         let avg = acc / n as f64;
         assert!((avg - mean.0).abs() < 0.15, "avg {avg} vs mean {}", mean.0);
+    }
+
+    #[test]
+    fn bounded_path_loss_matches_full_computation() {
+        // The early-out qualifier must agree with the reference on both
+        // the accept/reject decision and (bitwise) the accepted value,
+        // across distances spanning reject-by-radius, reject-by-value,
+        // and accept outcomes.
+        let m = model(1234);
+        let mut pairs = 0;
+        let mut accepted = 0;
+        for a in 0..60u16 {
+            for b in 0..60u16 {
+                for (d, ceiling) in [(2.0, 80.0), (30.0, 101.0), (120.0, 101.0), (400.0, 101.0)] {
+                    let full = m.mean_path_loss_db(a, b, Meters(d));
+                    let fast = m.mean_path_loss_db_if_at_most(a, b, Meters(d), ceiling);
+                    match fast {
+                        Some(pl) => {
+                            assert_eq!(pl.to_bits(), full.to_bits(), "{a}->{b} d={d}");
+                            assert!(pl <= ceiling);
+                            accepted += 1;
+                        }
+                        None => assert!(full > ceiling, "{a}->{b} d={d}: {full}"),
+                    }
+                    pairs += 1;
+                }
+            }
+        }
+        assert!(accepted > 0 && accepted < pairs, "both outcomes exercised");
     }
 
     #[test]

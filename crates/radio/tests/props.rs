@@ -5,9 +5,51 @@ use lv_radio::lqi::{mean_lqi_from_snr, LQI_MAX, LQI_MIN};
 use lv_radio::per::{ber_oqpsk, packet_error_rate};
 use lv_radio::rssi::{rssi_register, rssi_to_power_dbm, RSSI_REGISTER_MAX, RSSI_REGISTER_MIN};
 use lv_radio::units::{Dbm, Position};
-use lv_radio::{lqi_from_snr, PowerLevel};
+use lv_radio::{lqi_from_snr, LinkOverride, Medium, PowerLevel, PropagationConfig};
 use lv_sim::SimRng;
 use proptest::prelude::*;
+
+/// One randomized mutation of the medium's link state.
+#[derive(Debug, Clone)]
+enum Mutation {
+    Move { id: u16, x: f64, y: f64 },
+    Dead { id: u16, dead: bool },
+    Override { from: u16, to: u16, blocked: bool, extra_loss_db: f64 },
+    ClearOverride { from: u16, to: u16 },
+}
+
+fn mutation_strategy(n: u16) -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0..n, -50.0f64..200.0, -50.0f64..200.0)
+            .prop_map(|(id, x, y)| Mutation::Move { id, x, y }),
+        (0..n, any::<bool>()).prop_map(|(id, dead)| Mutation::Dead { id, dead }),
+        (0..n, 0..n, any::<bool>(), -45.0f64..60.0).prop_map(
+            |(from, to, blocked, extra_loss_db)| Mutation::Override {
+                from,
+                to,
+                blocked,
+                extra_loss_db
+            }
+        ),
+        (0..n, 0..n).prop_map(|(from, to)| Mutation::ClearOverride { from, to }),
+    ]
+}
+
+fn apply(m: &Mutation, medium: &mut Medium) {
+    match *m {
+        Mutation::Move { id, x, y } => medium.set_position(id, Position::new(x, y)),
+        Mutation::Dead { id, dead } => medium.set_dead(id, dead),
+        Mutation::Override { from, to, blocked, extra_loss_db } => medium.set_override(
+            from,
+            to,
+            LinkOverride {
+                blocked,
+                extra_loss_db,
+            },
+        ),
+        Mutation::ClearOverride { from, to } => medium.clear_override(from, to),
+    }
+}
 
 proptest! {
     /// BER is a probability and non-increasing in SNR.
@@ -83,5 +125,56 @@ proptest! {
     fn dbm_mw_round_trip(p in -120.0f64..30.0) {
         let back = Dbm::from_mw(Dbm(p).to_mw());
         prop_assert!((back.0 - p).abs() < 1e-9);
+    }
+
+    /// Tentpole property: after ANY sequence of position / death /
+    /// override mutations, the cached medium answers every query
+    /// bit-identically to brute force — same reachable sets (and hence
+    /// the same RxEnd schedule), same mean powers, same assessments,
+    /// and the same number of RNG draws consumed.
+    #[test]
+    fn cached_medium_matches_brute_force(
+        seed in any::<u64>(),
+        muts in proptest::collection::vec(mutation_strategy(16), 0..24),
+    ) {
+        let mut rng = SimRng::from_seed_u64(seed);
+        let positions: Vec<Position> = (0..16)
+            .map(|_| Position::new(rng.unit() * 150.0, rng.unit() * 150.0))
+            .collect();
+        let mut cached = Medium::new(positions, PropagationConfig::default(), seed);
+        prop_assert!(cached.cache_enabled());
+        let mut brute = cached.clone();
+        brute.set_cache_enabled(false);
+        for m in &muts {
+            apply(m, &mut cached);
+            apply(m, &mut brute);
+        }
+        for power in [PowerLevel::MIN, PowerLevel::MAX] {
+            for from in 0..16u16 {
+                let a: Vec<u16> = cached.reachable(from, power).collect();
+                let b: Vec<u16> = brute.reachable(from, power).collect();
+                prop_assert_eq!(a, b, "reachable({}) after {:?}", from, muts);
+                for to in 0..16u16 {
+                    prop_assert_eq!(
+                        cached.mean_rx_power(from, to, power),
+                        brute.mean_rx_power(from, to, power),
+                        "mean_rx_power({},{})", from, to
+                    );
+                    let mut r1 = SimRng::stream(seed, u64::from(from) << 16 | u64::from(to));
+                    let mut r2 = r1.clone();
+                    let a1 = cached.assess(from, to, power, 48, 1e-9, &mut r1);
+                    let a2 = brute.assess(from, to, power, 48, 1e-9, &mut r2);
+                    prop_assert_eq!(format!("{:?}", a1), format!("{:?}", a2));
+                    prop_assert_eq!(r1.next_u64(), r2.next_u64(), "rng desync");
+                    let mut c1 = SimRng::stream(seed, 0xCCA);
+                    let mut c2 = c1.clone();
+                    prop_assert_eq!(
+                        cached.cca_senses(from, to, power, &mut c1),
+                        brute.cca_senses(from, to, power, &mut c2)
+                    );
+                    prop_assert_eq!(c1.next_u64(), c2.next_u64(), "cca rng desync");
+                }
+            }
+        }
     }
 }

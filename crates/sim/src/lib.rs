@@ -26,7 +26,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use metrics::{Counters, Histogram, Summary, TimeSeries};
+pub use metrics::{CounterId, Counters, Histogram, Summary, TimeSeries};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

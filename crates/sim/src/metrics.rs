@@ -6,16 +6,256 @@
 //! histogram, and a raw time series for per-hop traces.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
+
+/// Interned ids for the counters the simulation touches per packet.
+///
+/// The tx/rx hot path used to pay a `BTreeMap<String, u64>` lookup (and
+/// frequently a `format!` allocation) for every frame. Interned counters
+/// get a fixed array slot instead: [`Counters::incr_id`] and
+/// [`Counters::add_id`] are a single array add, and the string name only
+/// materializes at report time. The string API ([`Counters::add`] et
+/// al.) transparently routes recognized names to the same slots, so both
+/// views always agree.
+///
+/// Variants are declared in lexicographic *name* order, which lets the
+/// merged report iteration interleave interned and ad-hoc counters with
+/// a linear merge instead of a sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum CounterId {
+    /// `mac.ack_timeout`
+    MacAckTimeout,
+    /// `mac.anomaly`
+    MacAnomaly,
+    /// `mac.cca_busy`
+    MacCcaBusy,
+    /// `mac.cca_clear`
+    MacCcaClear,
+    /// `mac.delivered`
+    MacDelivered,
+    /// `mac.failed.ChannelAccessFailure`
+    MacFailedChannelAccess,
+    /// `mac.failed.NoAck`
+    MacFailedNoAck,
+    /// `mac.queue_drop`
+    MacQueueDrop,
+    /// `mac.retries`
+    MacRetries,
+    /// `mac.submit`
+    MacSubmit,
+    /// `mac.tx_attempt`
+    MacTxAttempt,
+    /// `net.beacon_rx`
+    NetBeaconRx,
+    /// `net.deliver`
+    NetDeliver,
+    /// `net.drop.Duplicate`
+    NetDropDuplicate,
+    /// `net.drop.NoListener`
+    NetDropNoListener,
+    /// `net.drop.NoRoute`
+    NetDropNoRoute,
+    /// `net.drop.TtlExpired`
+    NetDropTtlExpired,
+    /// `net.forward`
+    NetForward,
+    /// `net.neighbor_expired`
+    NetNeighborExpired,
+    /// `net.neighbor_new`
+    NetNeighborNew,
+    /// `net.originate`
+    NetOriginate,
+    /// `net.queue_drop`
+    NetQueueDrop,
+    /// `padding.appended`
+    PaddingAppended,
+    /// `padding.capped`
+    PaddingCapped,
+    /// `rx.beacon`
+    RxBeacon,
+    /// `rx.corrupt`
+    RxCorrupt,
+    /// `rx.frames`
+    RxFrames,
+    /// `rx.garbled`
+    RxGarbled,
+    /// `rx.halfduplex_miss`
+    RxHalfduplexMiss,
+    /// `sys.blacklist_unknown`
+    SysBlacklistUnknown,
+    /// `sys.spawn_fail`
+    SysSpawnFail,
+    /// `sys.subscribe_conflict`
+    SysSubscribeConflict,
+    /// `tx.ack`
+    TxAck,
+    /// `tx.beacon`
+    TxBeacon,
+    /// `tx.bytes`
+    TxBytes,
+    /// `tx.data`
+    TxData,
+}
+
+impl CounterId {
+    /// Number of interned counters.
+    pub const COUNT: usize = 36;
+
+    /// Every interned counter, in lexicographic name order.
+    pub const ALL: [CounterId; Self::COUNT] = [
+        CounterId::MacAckTimeout,
+        CounterId::MacAnomaly,
+        CounterId::MacCcaBusy,
+        CounterId::MacCcaClear,
+        CounterId::MacDelivered,
+        CounterId::MacFailedChannelAccess,
+        CounterId::MacFailedNoAck,
+        CounterId::MacQueueDrop,
+        CounterId::MacRetries,
+        CounterId::MacSubmit,
+        CounterId::MacTxAttempt,
+        CounterId::NetBeaconRx,
+        CounterId::NetDeliver,
+        CounterId::NetDropDuplicate,
+        CounterId::NetDropNoListener,
+        CounterId::NetDropNoRoute,
+        CounterId::NetDropTtlExpired,
+        CounterId::NetForward,
+        CounterId::NetNeighborExpired,
+        CounterId::NetNeighborNew,
+        CounterId::NetOriginate,
+        CounterId::NetQueueDrop,
+        CounterId::PaddingAppended,
+        CounterId::PaddingCapped,
+        CounterId::RxBeacon,
+        CounterId::RxCorrupt,
+        CounterId::RxFrames,
+        CounterId::RxGarbled,
+        CounterId::RxHalfduplexMiss,
+        CounterId::SysBlacklistUnknown,
+        CounterId::SysSpawnFail,
+        CounterId::SysSubscribeConflict,
+        CounterId::TxAck,
+        CounterId::TxBeacon,
+        CounterId::TxBytes,
+        CounterId::TxData,
+    ];
+
+    /// The report-time name of this counter.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterId::MacAckTimeout => "mac.ack_timeout",
+            CounterId::MacAnomaly => "mac.anomaly",
+            CounterId::MacCcaBusy => "mac.cca_busy",
+            CounterId::MacCcaClear => "mac.cca_clear",
+            CounterId::MacDelivered => "mac.delivered",
+            CounterId::MacFailedChannelAccess => "mac.failed.ChannelAccessFailure",
+            CounterId::MacFailedNoAck => "mac.failed.NoAck",
+            CounterId::MacQueueDrop => "mac.queue_drop",
+            CounterId::MacRetries => "mac.retries",
+            CounterId::MacSubmit => "mac.submit",
+            CounterId::MacTxAttempt => "mac.tx_attempt",
+            CounterId::NetBeaconRx => "net.beacon_rx",
+            CounterId::NetDeliver => "net.deliver",
+            CounterId::NetDropDuplicate => "net.drop.Duplicate",
+            CounterId::NetDropNoListener => "net.drop.NoListener",
+            CounterId::NetDropNoRoute => "net.drop.NoRoute",
+            CounterId::NetDropTtlExpired => "net.drop.TtlExpired",
+            CounterId::NetForward => "net.forward",
+            CounterId::NetNeighborExpired => "net.neighbor_expired",
+            CounterId::NetNeighborNew => "net.neighbor_new",
+            CounterId::NetOriginate => "net.originate",
+            CounterId::NetQueueDrop => "net.queue_drop",
+            CounterId::PaddingAppended => "padding.appended",
+            CounterId::PaddingCapped => "padding.capped",
+            CounterId::RxBeacon => "rx.beacon",
+            CounterId::RxCorrupt => "rx.corrupt",
+            CounterId::RxFrames => "rx.frames",
+            CounterId::RxGarbled => "rx.garbled",
+            CounterId::RxHalfduplexMiss => "rx.halfduplex_miss",
+            CounterId::SysBlacklistUnknown => "sys.blacklist_unknown",
+            CounterId::SysSpawnFail => "sys.spawn_fail",
+            CounterId::SysSubscribeConflict => "sys.subscribe_conflict",
+            CounterId::TxAck => "tx.ack",
+            CounterId::TxBeacon => "tx.beacon",
+            CounterId::TxBytes => "tx.bytes",
+            CounterId::TxData => "tx.data",
+        }
+    }
+
+    /// Resolve a name to its interned id, if one exists.
+    pub fn from_name(name: &str) -> Option<CounterId> {
+        Some(match name {
+            "mac.ack_timeout" => CounterId::MacAckTimeout,
+            "mac.anomaly" => CounterId::MacAnomaly,
+            "mac.cca_busy" => CounterId::MacCcaBusy,
+            "mac.cca_clear" => CounterId::MacCcaClear,
+            "mac.delivered" => CounterId::MacDelivered,
+            "mac.failed.ChannelAccessFailure" => CounterId::MacFailedChannelAccess,
+            "mac.failed.NoAck" => CounterId::MacFailedNoAck,
+            "mac.queue_drop" => CounterId::MacQueueDrop,
+            "mac.retries" => CounterId::MacRetries,
+            "mac.submit" => CounterId::MacSubmit,
+            "mac.tx_attempt" => CounterId::MacTxAttempt,
+            "net.beacon_rx" => CounterId::NetBeaconRx,
+            "net.deliver" => CounterId::NetDeliver,
+            "net.drop.Duplicate" => CounterId::NetDropDuplicate,
+            "net.drop.NoListener" => CounterId::NetDropNoListener,
+            "net.drop.NoRoute" => CounterId::NetDropNoRoute,
+            "net.drop.TtlExpired" => CounterId::NetDropTtlExpired,
+            "net.forward" => CounterId::NetForward,
+            "net.neighbor_expired" => CounterId::NetNeighborExpired,
+            "net.neighbor_new" => CounterId::NetNeighborNew,
+            "net.originate" => CounterId::NetOriginate,
+            "net.queue_drop" => CounterId::NetQueueDrop,
+            "padding.appended" => CounterId::PaddingAppended,
+            "padding.capped" => CounterId::PaddingCapped,
+            "rx.beacon" => CounterId::RxBeacon,
+            "rx.corrupt" => CounterId::RxCorrupt,
+            "rx.frames" => CounterId::RxFrames,
+            "rx.garbled" => CounterId::RxGarbled,
+            "rx.halfduplex_miss" => CounterId::RxHalfduplexMiss,
+            "sys.blacklist_unknown" => CounterId::SysBlacklistUnknown,
+            "sys.spawn_fail" => CounterId::SysSpawnFail,
+            "sys.subscribe_conflict" => CounterId::SysSubscribeConflict,
+            "tx.ack" => CounterId::TxAck,
+            "tx.beacon" => CounterId::TxBeacon,
+            "tx.bytes" => CounterId::TxBytes,
+            "tx.data" => CounterId::TxData,
+            _ => return None,
+        })
+    }
+}
 
 /// A registry of named monotonically increasing counters.
 ///
-/// `BTreeMap` keeps iteration order deterministic so serialized metric
-/// dumps diff cleanly between runs.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Interned counters (see [`CounterId`]) live in a fixed array; anything
+/// else lands in a `BTreeMap`. Iteration and serialization present one
+/// merged, lexicographically sorted view, so reports are byte-identical
+/// to the old purely map-backed representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counters {
+    /// Fast slots, indexed by `CounterId as usize`.
+    fast: [u64; CounterId::COUNT],
+    /// Bit `i` set ⇔ slot `i` has been touched. Mirrors the old "map key
+    /// exists" state: a touched-but-zero counter still shows up in
+    /// reports (e.g. after [`Counters::reset`]).
+    touched: u64,
+    /// Ad-hoc counters named at runtime. Invariant: never holds a name
+    /// that `CounterId::from_name` recognizes.
     values: BTreeMap<String, u64>,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            fast: [0; CounterId::COUNT],
+            touched: 0,
+            values: BTreeMap::new(),
+        }
+    }
 }
 
 impl Counters {
@@ -24,9 +264,39 @@ impl Counters {
         Self::default()
     }
 
+    /// Add `n` to an interned counter. This is the hot path: one array
+    /// add, no hashing, no allocation.
+    #[inline]
+    pub fn add_id(&mut self, id: CounterId, n: u64) {
+        self.fast[id as usize] += n;
+        self.touched |= 1 << id as usize;
+    }
+
+    /// Increment an interned counter by one.
+    #[inline]
+    pub fn incr_id(&mut self, id: CounterId) {
+        self.add_id(id, 1);
+    }
+
+    /// Current value of an interned counter.
+    #[inline]
+    pub fn get_id(&self, id: CounterId) -> u64 {
+        self.fast[id as usize]
+    }
+
     /// Add `n` to counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &str, n: u64) {
-        *self.values.entry(name.to_owned()).or_insert(0) += n;
+        if let Some(id) = CounterId::from_name(name) {
+            self.add_id(id, n);
+            return;
+        }
+        // Get-then-insert: the common existing-key case allocates nothing.
+        match self.values.get_mut(name) {
+            Some(v) => *v += n,
+            None => {
+                self.values.insert(name.to_owned(), n);
+            }
+        }
     }
 
     /// Increment counter `name` by one.
@@ -36,25 +306,53 @@ impl Counters {
 
     /// Current value of `name` (zero if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.values.get(name).copied().unwrap_or(0)
+        match CounterId::from_name(name) {
+            Some(id) => self.fast[id as usize],
+            None => self.values.get(name).copied().unwrap_or(0),
+        }
     }
 
     /// Sum of all counters whose name starts with `prefix`.
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
-        self.values
-            .iter()
+        self.iter()
             .filter(|(k, _)| k.starts_with(prefix))
             .map(|(_, v)| v)
             .sum()
     }
 
-    /// Iterate `(name, value)` pairs in lexicographic order.
+    /// Iterate `(name, value)` pairs in lexicographic order, merging the
+    /// interned slots with the ad-hoc map.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+        let mut out: Vec<(&str, u64)> = Vec::with_capacity(self.len());
+        let mut ids = CounterId::ALL
+            .iter()
+            .filter(|&&id| self.touched >> (id as usize) & 1 == 1)
+            .peekable();
+        let mut map = self.values.iter().peekable();
+        loop {
+            // Interned names are never map keys, so ties cannot occur.
+            match (ids.peek(), map.peek()) {
+                (Some(&&id), Some(&(k, _))) if id.name() < k.as_str() => {
+                    out.push((id.name(), self.fast[id as usize]));
+                    ids.next();
+                }
+                (_, Some(_)) => {
+                    let (k, &v) = map.next().expect("peeked");
+                    out.push((k.as_str(), v));
+                }
+                (Some(&&id), None) => {
+                    out.push((id.name(), self.fast[id as usize]));
+                    ids.next();
+                }
+                (None, None) => break,
+            }
+        }
+        out.into_iter()
     }
 
-    /// Reset every counter to zero (the map keys persist).
+    /// Reset every counter to zero (the names persist).
     pub fn reset(&mut self) {
+        self.fast = [0; CounterId::COUNT];
         for v in self.values.values_mut() {
             *v = 0;
         }
@@ -62,7 +360,11 @@ impl Counters {
 
     /// Merge another registry into this one by summing.
     pub fn merge(&mut self, other: &Counters) {
-        for (k, v) in other.iter() {
+        self.touched |= other.touched;
+        for (i, &v) in other.fast.iter().enumerate() {
+            self.fast[i] += v;
+        }
+        for (k, &v) in other.values.iter() {
             self.add(k, v);
         }
     }
@@ -88,12 +390,39 @@ impl Counters {
 
     /// Number of named counters (including zero-valued ones).
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.touched.count_ones() as usize + self.values.len()
     }
 
     /// True when no counter has ever been touched.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.touched == 0 && self.values.is_empty()
+    }
+}
+
+// Hand-written serde impls that reproduce the byte-exact shape of the
+// old `#[derive]` on `struct Counters { values: BTreeMap<String, u64> }`:
+// one "values" field holding the merged, sorted name→value map.
+impl Serialize for Counters {
+    fn to_value(&self) -> Value {
+        let entries = self
+            .iter()
+            .map(|(k, v)| (k.to_owned(), Value::U64(v)))
+            .collect();
+        Value::Map(vec![("values".to_owned(), Value::Map(entries))])
+    }
+}
+
+impl Deserialize for Counters {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let values = v
+            .map_get("values")
+            .ok_or_else(|| DeError::msg("missing field `values`"))?;
+        let map: BTreeMap<String, u64> = Deserialize::from_value(values)?;
+        let mut out = Counters::new();
+        for (k, v) in map {
+            out.add(&k, v); // re-routes interned names into fast slots
+        }
+        Ok(out)
     }
 }
 
@@ -436,6 +765,101 @@ mod tests {
         c.incr("c");
         let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn interned_and_string_apis_share_one_namespace() {
+        let mut c = Counters::new();
+        c.incr("tx.data"); // string API routes into the fast slot
+        c.add_id(CounterId::TxData, 2);
+        assert_eq!(c.get("tx.data"), 3);
+        assert_eq!(c.get_id(CounterId::TxData), 3);
+        c.incr_id(CounterId::NetDropNoRoute);
+        assert_eq!(c.get("net.drop.NoRoute"), 1);
+        assert_eq!(c.sum_prefix("net.drop."), 1);
+    }
+
+    #[test]
+    fn every_counter_id_round_trips_by_name() {
+        for id in CounterId::ALL {
+            assert_eq!(CounterId::from_name(id.name()), Some(id));
+        }
+        // ALL must be sorted by name so merged iteration stays sorted.
+        for w in CounterId::ALL.windows(2) {
+            assert!(w[0].name() < w[1].name(), "{} !< {}", w[0].name(), w[1].name());
+        }
+        assert_eq!(CounterId::from_name("no.such.counter"), None);
+    }
+
+    #[test]
+    fn interned_counters_interleave_sorted_with_adhoc() {
+        let mut c = Counters::new();
+        c.incr("cmd.ping"); // ad-hoc, sorts before "mac.*"
+        c.incr_id(CounterId::MacDelivered);
+        c.incr("mac.extra"); // ad-hoc, between delivered and submit
+        c.incr_id(CounterId::MacSubmit);
+        c.incr("zzz.last");
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            names,
+            vec!["cmd.ping", "mac.delivered", "mac.extra", "mac.submit", "zzz.last"]
+        );
+        assert_eq!(c.len(), 5);
+    }
+
+    /// ISSUE 3 satellite: mixed interned/ad-hoc counting must produce
+    /// exactly the totals, iteration, diff, and JSON the old purely
+    /// map-backed implementation did.
+    #[test]
+    fn counter_totals_unchanged_by_interning() {
+        let mut c = Counters::new();
+        // A realistic tx/rx sequence through the string API only.
+        for _ in 0..7 {
+            c.incr("tx.data");
+            c.add("tx.bytes", 52);
+        }
+        c.incr("rx.corrupt");
+        #[derive(Debug)]
+        enum Reason {
+            NoRoute,
+        }
+        c.incr(&format!("net.drop.{:?}", Reason::NoRoute)); // old callsite shape
+        c.incr("cmd.traceroute");
+        assert_eq!(c.get("tx.data"), 7);
+        assert_eq!(c.get("tx.bytes"), 364);
+        assert_eq!(c.sum_prefix("tx."), 371);
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(
+            json,
+            r#"{"values":{"cmd.traceroute":1,"net.drop.NoRoute":1,"rx.corrupt":1,"tx.bytes":364,"tx.data":7}}"#
+        );
+        let back: Counters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        // Reset keeps every name visible at zero, as the map did.
+        c.reset();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.iter().map(|(_, v)| v).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn interned_merge_and_diff() {
+        let mut a = Counters::new();
+        a.incr_id(CounterId::TxData);
+        a.incr("custom.x");
+        let baseline = a.clone();
+        let mut b = Counters::new();
+        b.add_id(CounterId::TxData, 4);
+        b.incr_id(CounterId::RxFrames);
+        b.add("custom.x", 2);
+        a.merge(&b);
+        assert_eq!(a.get_id(CounterId::TxData), 5);
+        assert_eq!(a.get_id(CounterId::RxFrames), 1);
+        assert_eq!(a.get("custom.x"), 3);
+        let d = a.diff(&baseline);
+        assert_eq!(d.get("tx.data"), 4);
+        assert_eq!(d.get("rx.frames"), 1);
+        assert_eq!(d.get("custom.x"), 2);
+        assert_eq!(d.len(), 3);
     }
 
     #[test]

@@ -143,9 +143,26 @@ impl SimRng {
     /// second variate is deliberately discarded to keep draw counts
     /// predictable per call site).
     pub fn gaussian(&mut self) -> f64 {
+        let r = self.gaussian_radius();
+        r * self.gaussian_angle()
+    }
+
+    /// First half of the Box–Muller draw: the radius `√(−2·ln u1)`.
+    ///
+    /// Exposed so bulk qualifiers (the medium's link-cache build) can
+    /// reject a candidate after ONE uniform draw: the full variate is
+    /// `radius · angle` with `|angle| ≤ 1`, so `radius` bounds its
+    /// magnitude. Callers that continue must take [`Self::gaussian_angle`]
+    /// next — the product is bit-identical to [`Self::gaussian`].
+    pub fn gaussian_radius(&mut self) -> f64 {
         let u1 = (1.0 - self.unit()).max(f64::MIN_POSITIVE); // avoid ln(0)
+        (-2.0 * u1.ln()).sqrt()
+    }
+
+    /// Second half of the Box–Muller draw: `cos(2π·u2)`.
+    pub fn gaussian_angle(&mut self) -> f64 {
         let u2 = self.unit();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        (2.0 * std::f64::consts::PI * u2).cos()
     }
 
     /// Normal with given mean and standard deviation.

@@ -205,6 +205,30 @@ fn ablation_energy_ordering() {
     assert!(listen > 1000.0 * t8, "listen = {listen} J vs traceroute {t8} J");
 }
 
+/// End-to-end guard for the reachability cache: the headline figures
+/// are bit-identical with the cache enabled (default) and disabled
+/// (`LV_MEDIUM_BRUTE=1`, the A/B hook in `lv_radio::Medium::new`).
+/// Harmless under parallel tests precisely *because* the two modes are
+/// equivalent — a test racing onto the brute path must see the same
+/// numbers.
+#[test]
+fn figures_bit_identical_with_and_without_medium_cache() {
+    let run_all = || {
+        (
+            format!("{:?}", fig5_traceroute_delay(42)),
+            format!("{:?}", fig6_rssi_vs_power(42)),
+            format!("{:?}", fig7_overhead(42)),
+        )
+    };
+    let cached = run_all();
+    std::env::set_var("LV_MEDIUM_BRUTE", "1");
+    let brute = run_all();
+    std::env::remove_var("LV_MEDIUM_BRUTE");
+    assert_eq!(cached.0, brute.0, "fig5 diverged");
+    assert_eq!(cached.1, brute.1, "fig6 diverged");
+    assert_eq!(cached.2, brute.2, "fig7 diverged");
+}
+
 #[test]
 fn link_characterization_has_three_regions() {
     let rows = characterize_links(42);

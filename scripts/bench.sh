@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# PR-3 scaling benchmark: runs the beacon + traceroute workload at
+# 100→1000 nodes with the medium's reachability cache on and off, and
+# checks the JSON rows into BENCH_PR3.json at the repo root. The sweep
+# asserts that both arms produce identical counter digests — the cache
+# must change wall time, never physics.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p lv-bench
+cargo run --release -q -p lv-bench --bin figures -- --scale --json > BENCH_PR3.json
+cargo run --release -q -p lv-bench --bin figures -- --scale
+
+echo "bench: wrote BENCH_PR3.json"

@@ -10,4 +10,7 @@ cargo test -q --all
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== scaling smoke (100 nodes, cached vs brute) =="
+cargo run --release -q -p lv-bench --bin figures -- --scale --sizes 100
+
 echo "verify: OK"
