@@ -8,16 +8,26 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     for row in lv_testbed::experiments::ablation_traceroute_vs_ping(42) {
-        println!("ablation {:<28} {:<16} {:>10.0}", row.arm, row.metric, row.value);
+        println!(
+            "ablation {:<28} {:<16} {:>10.0}",
+            row.arm, row.metric, row.value
+        );
     }
     for row in lv_testbed::experiments::ablation_neighbor_table() {
-        println!("ablation {:<28} {:<16} {:>10.0}", row.arm, row.metric, row.value);
+        println!(
+            "ablation {:<28} {:<16} {:>10.0}",
+            row.arm, row.metric, row.value
+        );
     }
 
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("batch_adaptive", |b| {
-        b.iter(|| black_box(lv_testbed::experiments::ablation_batch_adaptive(black_box(42))))
+        b.iter(|| {
+            black_box(lv_testbed::experiments::ablation_batch_adaptive(black_box(
+                42,
+            )))
+        })
     });
     g.bench_function("response_backoff", |b| {
         b.iter(|| {

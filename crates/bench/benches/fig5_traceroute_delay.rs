@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
     g.bench_function("traceroute_delay_8hop", |b| {
-        b.iter(|| black_box(lv_testbed::experiments::fig5_traceroute_delay(black_box(42))))
+        b.iter(|| {
+            black_box(lv_testbed::experiments::fig5_traceroute_delay(black_box(
+                42,
+            )))
+        })
     });
     g.finish();
 }

@@ -5,30 +5,26 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lv_kernel::Network;
-use lv_testbed::Topology;
 use lv_sim::SimDuration;
+use lv_testbed::Topology;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_scale");
     g.sample_size(10);
     for &n in &[9usize, 30, 100] {
-        g.bench_with_input(
-            BenchmarkId::new("10s_of_beaconing", n),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let topo = Topology::RandomDisk {
-                        n,
-                        side: (n as f64).sqrt() * 8.0,
-                    };
-                    let medium = topo.medium(Default::default(), 42);
-                    let mut net = Network::new(medium, 42);
-                    net.run_for(SimDuration::from_secs(10));
-                    black_box(net.counters.get("tx.beacon"))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("10s_of_beaconing", n), &n, |b, &n| {
+            b.iter(|| {
+                let topo = Topology::RandomDisk {
+                    n,
+                    side: (n as f64).sqrt() * 8.0,
+                };
+                let medium = topo.medium(Default::default(), 42);
+                let mut net = Network::new(medium, 42);
+                net.run_for(SimDuration::from_secs(10));
+                black_box(net.counters.get("tx.beacon"))
+            })
+        });
     }
     g.finish();
 }

@@ -31,7 +31,12 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("text_metrics");
     g.sample_size(10);
     g.bench_function("text_response_delay", |b| {
-        b.iter(|| black_box(lv_testbed::experiments::text_response_delays(black_box(42), 2)))
+        b.iter(|| {
+            black_box(lv_testbed::experiments::text_response_delays(
+                black_box(42),
+                2,
+            ))
+        })
     });
     g.bench_function("text_ping_rtt", |b| {
         b.iter(|| black_box(lv_testbed::experiments::text_ping_sample(black_box(42))))

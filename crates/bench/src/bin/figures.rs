@@ -20,6 +20,20 @@
 //! corridor and prints the network-wide [`ObservabilityReport`] as
 //! JSON (DESIGN.md §9).
 //!
+//! CI sessions (DESIGN.md §11):
+//!
+//! * `--digests` prints the FNV-1a determinism digest of fig5/6/7;
+//!   `--check-digests goldens/figure_digests.json` additionally
+//!   compares against the checked-in goldens and exits non-zero on any
+//!   drift — the regression gate that locks in bit-identical replays.
+//! * `--dynamics` runs the degradation-ramp soak: an 8-hop path whose
+//!   middle link loses 5 dB every 10 s while traceroute watches the
+//!   weakening hop. Hard-fails unless the hop is *detected* before the
+//!   end-to-end ping dies and the path *recovers* after the repair.
+//! * `--check-speedup BENCH_PR3.json` re-reads a `--scale --json`
+//!   artifact and fails if the largest deployment's cached-vs-brute
+//!   speedup fell below 3×.
+//!
 //! [`ObservabilityReport`]: liteview::ObservabilityReport
 
 use lv_bench::{table, Line};
@@ -36,6 +50,10 @@ struct Args {
     report: bool,
     scale: bool,
     sizes: Vec<usize>,
+    dynamics: bool,
+    digests: bool,
+    check_digests: Option<String>,
+    check_speedup: Option<String>,
 }
 
 impl Args {
@@ -58,11 +76,24 @@ fn parse_args() -> Args {
     let mut report = false;
     let mut scale = false;
     let mut sizes = vec![100, 250, 500, 1000];
+    let mut dynamics = false;
+    let mut digests = false;
+    let mut check_digests = None;
+    let mut check_speedup = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--report" => report = true,
             "--scale" => scale = true,
+            "--dynamics" => dynamics = true,
+            "--digests" => digests = true,
+            "--check-digests" => {
+                check_digests = Some(argv.next().expect("--check-digests <golden file>"));
+                digests = true;
+            }
+            "--check-speedup" => {
+                check_speedup = Some(argv.next().expect("--check-speedup <BENCH json file>"));
+            }
             "--sizes" => {
                 sizes = argv
                     .next()
@@ -96,13 +127,27 @@ fn parse_args() -> Args {
             other => what.push(other.to_owned()),
         }
     }
-    if report || scale {
-        // `--report` / `--scale` are sessions, not figures: an empty
+    if report || scale || dynamics || digests || check_speedup.is_some() {
+        // `--report` / `--scale` / `--dynamics` / `--digests` /
+        // `--check-speedup` are sessions, not figures: an empty
         // experiment list stays empty instead of expanding to `all`.
     } else if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
-            "fig5", "fig6", "fig7", "tresp", "tping", "tpad", "tfoot", "tovh1", "linkchar",
-            "ablations", "fig5agg", "fig6agg", "fig7agg", "linkcharagg", "failures",
+            "fig5",
+            "fig6",
+            "fig7",
+            "tresp",
+            "tping",
+            "tpad",
+            "tfoot",
+            "tovh1",
+            "linkchar",
+            "ablations",
+            "fig5agg",
+            "fig6agg",
+            "fig7agg",
+            "linkcharagg",
+            "failures",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -117,6 +162,10 @@ fn parse_args() -> Args {
         report,
         scale,
         sizes,
+        dynamics,
+        digests,
+        check_digests,
+        check_speedup,
     }
 }
 
@@ -127,6 +176,15 @@ fn main() {
     }
     if args.scale {
         scale(&args);
+    }
+    if args.digests {
+        digests(&args);
+    }
+    if args.dynamics {
+        dynamics(&args);
+    }
+    if let Some(path) = &args.check_speedup {
+        check_speedup(path);
     }
     for what in &args.what {
         match what.as_str() {
@@ -161,9 +219,10 @@ fn report(seed: u64) {
     s.ws.cd(&s.net, "192.168.0.1").expect("bridge exists");
     let far = (s.net.node_count() - 1) as u16;
     let _ = s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None));
-    let _ = s
-        .ws
-        .exec(&mut s.net, CommandRequest::traceroute(far, 32, Port::GEOGRAPHIC));
+    let _ = s.ws.exec(
+        &mut s.net,
+        CommandRequest::traceroute(far, 32, Port::GEOGRAPHIC),
+    );
     let json = s.ws.report(&s.net).to_json();
     // The emitted document must parse back — the report is an exchange
     // format, not just a pretty-printer.
@@ -190,7 +249,11 @@ fn scale(args: &Args) {
             let (c, b) = (&pair[0], &pair[1]);
             Line(format!(
                 "{:>6}   {:>12.1} {:>12.1}   {:>12.0} {:>12.0}   {:>7.2}x",
-                c.nodes, c.wall_ms, b.wall_ms, c.events_per_sec, b.events_per_sec,
+                c.nodes,
+                c.wall_ms,
+                b.wall_ms,
+                c.events_per_sec,
+                b.events_per_sec,
                 b.wall_ms / c.wall_ms
             ))
         })
@@ -203,6 +266,183 @@ fn scale(args: &Args) {
             &lines
         )
     );
+}
+
+/// `--digests`: print the determinism digests of fig5/6/7; with
+/// `--check-digests <golden>` also diff them against the checked-in
+/// goldens and exit non-zero on drift.
+fn digests(args: &Args) {
+    let rows = exp::figure_digests(args.seed);
+    if args.json {
+        println!("{}", to_json_lines(&rows));
+    } else {
+        let lines: Vec<Line> = rows
+            .iter()
+            .map(|r| Line(format!("{:<6} {}", r.figure, r.digest)))
+            .collect();
+        print!(
+            "{}",
+            table(
+                "Determinism digests — FNV-1a over the figure row JSON",
+                "figure digest",
+                &lines
+            )
+        );
+    }
+    if let Some(path) = &args.check_digests {
+        let golden = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read goldens {path}: {e}"));
+        let fresh = to_json_lines(&rows);
+        let mut drift = false;
+        for (g, f) in golden.lines().map(str::trim).zip(fresh.lines()) {
+            if g != f {
+                eprintln!("digest drift:\n  golden: {g}\n  fresh:  {f}");
+                drift = true;
+            }
+        }
+        if golden.lines().filter(|l| !l.trim().is_empty()).count() != rows.len() {
+            eprintln!("golden file {path} has a different figure count than this binary produces");
+            drift = true;
+        }
+        if drift {
+            eprintln!(
+                "figure digests changed — if intentional, regenerate with \
+                 `figures --digests --json > {path}`"
+            );
+            std::process::exit(1);
+        }
+        println!("digests: OK ({} figures match {path})", rows.len());
+    }
+}
+
+/// `--dynamics`: the degradation-ramp soak. Prints the per-round
+/// observations and the detect → fail → recover milestones, then
+/// hard-fails (for the nightly CI job) unless the diagnosis story
+/// holds: traceroute pinpoints the weakening hop *before* the
+/// end-to-end ping dies, and the path recovers after the repair.
+fn dynamics(args: &Args) {
+    let r = exp::dynamics_soak(args.seed);
+    if args.json {
+        println!("{}", serde_json::to_string(&r).unwrap());
+    } else {
+        let lines: Vec<Line> = r
+            .rounds
+            .iter()
+            .map(|row| {
+                Line(format!(
+                    "{:>9.0}   {:>7} {:>6} {:>5} {:>6}   {:>5} {:>9} {:>10}",
+                    row.t_ms,
+                    if row.trace_reached { "yes" } else { "no" },
+                    if row.hop_seen { "yes" } else { "no" },
+                    row.hop_lqi,
+                    row.hop_rssi,
+                    if row.ping_ok { "ok" } else { "FAIL" },
+                    row.evictions,
+                    row.blacklists
+                ))
+            })
+            .collect();
+        print!(
+            "{}",
+            table(
+                "Dynamics soak — 8-hop corridor, hop 5 ramped to +60 dB then repaired",
+                "    t[ms]   reached    hop   lqi   rssi    ping   evicted   blacklist",
+                &lines
+            )
+        );
+        println!(
+            "detect = {:.0} ms, ping-fail = {:.0} ms, recover = {:.0} ms",
+            r.detect_ms, r.ping_fail_ms, r.recover_ms
+        );
+        println!(
+            "evictions = {}, blacklists = {}, dyn trace events = {}, digest = {}",
+            r.evictions, r.blacklists, r.dyn_trace_events, r.digest
+        );
+    }
+    let mut bad = Vec::new();
+    if r.detect_ms < 0.0 {
+        bad.push("the weakening hop was never detected while the path still worked");
+    }
+    if r.ping_fail_ms < 0.0 {
+        bad.push("the end-to-end ping never failed despite the +60 dB ramp");
+    }
+    if r.detect_ms >= 0.0 && r.ping_fail_ms >= 0.0 && r.detect_ms >= r.ping_fail_ms {
+        bad.push("detection did not precede the end-to-end failure");
+    }
+    if r.recover_ms < 0.0 {
+        bad.push("the path never recovered after the link repair");
+    }
+    if r.evictions == 0 {
+        bad.push("no stale neighbors were evicted during the outage");
+    }
+    if r.blacklists == 0 {
+        bad.push("the degradation watchdog never blacklisted the weakening link");
+    }
+    if r.dyn_trace_events == 0 {
+        bad.push("no dyn.* mutations were counted");
+    }
+    if !bad.is_empty() {
+        for b in &bad {
+            eprintln!("dynamics soak FAILED: {b}");
+        }
+        std::process::exit(1);
+    }
+    if !args.json {
+        println!("dynamics soak: OK (detect < ping-fail < recover)");
+    }
+}
+
+/// `--check-speedup <file>`: re-read a `--scale --json` artifact and
+/// fail unless the largest deployment's cached-vs-brute speedup is
+/// still ≥ 3×.
+fn check_speedup(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read scale artifact {path}: {e}"));
+    // (nodes, cached, wall_ms) triples parsed back out of the artifact.
+    let mut runs: Vec<(u64, bool, f64)> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v: serde::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad JSON line in {path}: {e:?}"));
+        let nodes = match v.map_get("nodes") {
+            Some(serde::Value::U64(n)) => *n,
+            Some(serde::Value::I64(n)) => *n as u64,
+            _ => panic!("scale row without a numeric `nodes` field in {path}"),
+        };
+        let cached = matches!(v.map_get("cached"), Some(serde::Value::Bool(true)));
+        let wall_ms = match v.map_get("wall_ms") {
+            Some(serde::Value::F64(w)) => *w,
+            Some(serde::Value::U64(w)) => *w as f64,
+            Some(serde::Value::I64(w)) => *w as f64,
+            _ => panic!("scale row without a numeric `wall_ms` field in {path}"),
+        };
+        runs.push((nodes, cached, wall_ms));
+    }
+    let largest = runs
+        .iter()
+        .map(|&(n, _, _)| n)
+        .max()
+        .unwrap_or_else(|| panic!("no scale rows in {path}"));
+    let arm = |cached: bool| {
+        runs.iter()
+            .find(|&&(n, c, _)| n == largest && c == cached)
+            .map(|&(_, _, w)| w)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no {} run at {largest} nodes in {path}",
+                    if cached { "cached" } else { "brute" }
+                )
+            })
+    };
+    let (cached_ms, brute_ms) = (arm(true), arm(false));
+    let speedup = brute_ms / cached_ms;
+    println!(
+        "speedup @ {largest} nodes: brute {brute_ms:.1} ms / cached {cached_ms:.1} ms = {speedup:.2}x"
+    );
+    if speedup < 3.0 {
+        eprintln!("speedup gate FAILED: {speedup:.2}x < 3.00x at {largest} nodes");
+        std::process::exit(1);
+    }
+    println!("speedup gate: OK ({speedup:.2}x >= 3.00x)");
 }
 
 fn fig5(seed: u64, json: bool) {
@@ -582,7 +822,14 @@ fn ablations(seed: u64, json: bool) {
     }
     let lines: Vec<Line> = rows
         .iter()
-        .map(|r| Line(format!("{:<34} {:<22} {:>14}", r.arm, r.metric, format_value(r.value))))
+        .map(|r| {
+            Line(format!(
+                "{:<34} {:<22} {:>14}",
+                r.arm,
+                r.metric,
+                format_value(r.value)
+            ))
+        })
         .collect();
     print!(
         "{}",

@@ -95,9 +95,7 @@ impl Command {
     /// signals done explicitly).
     pub fn window(&self) -> SimDuration {
         match self {
-            Command::Ping { rounds, .. } => {
-                SimDuration::from_millis(500) * (*rounds).max(1) as u64
-            }
+            Command::Ping { rounds, .. } => SimDuration::from_millis(500) * (*rounds).max(1) as u64,
             Command::Traceroute { .. } => SimDuration::from_secs(15),
             _ => SimDuration::from_millis(500),
         }

@@ -120,7 +120,12 @@ impl RuntimeController {
         delay
     }
 
-    fn respond(&mut self, ctx: &mut SysCtx<'_>, req: &MgmtRequest, reply: MgmtReply) -> SimDuration {
+    fn respond(
+        &mut self,
+        ctx: &mut SysCtx<'_>,
+        req: &MgmtRequest,
+        reply: MgmtReply,
+    ) -> SimDuration {
         let resp = MgmtResponse {
             req_id: req.req_id,
             from: ctx.node_id,
@@ -434,8 +439,7 @@ impl Process for RuntimeController {
                     }
                 }
                 Some(0x41) => {
-                    if let Ok(BatchMsg::Ack { req_id, missing }) =
-                        BatchMsg::decode(&packet.payload)
+                    if let Ok(BatchMsg::Ack { req_id, missing }) = BatchMsg::decode(&packet.payload)
                     {
                         if let Some(batch) = self.batches.get_mut(&req_id) {
                             let steps = batch.sender.on_ack(&missing);
@@ -446,17 +450,15 @@ impl Process for RuntimeController {
                 _ => {}
             },
             Port::PING => self.handle_ping_probe(ctx, packet, meta),
-            Port::TRACEROUTE => {
-                match packet.payload.first() {
-                    Some(0x60) => self.handle_tr_probe(ctx, packet, meta),
-                    Some(0x62) => {
-                        if let Ok(task) = TrTask::decode(&packet.payload) {
-                            self.handle_tr_task(ctx, task);
-                        }
+            Port::TRACEROUTE => match packet.payload.first() {
+                Some(0x60) => self.handle_tr_probe(ctx, packet, meta),
+                Some(0x62) => {
+                    if let Ok(task) = TrTask::decode(&packet.payload) {
+                        self.handle_tr_task(ctx, task);
                     }
-                    _ => {}
                 }
-            }
+                _ => {}
+            },
             _ => {}
         }
     }

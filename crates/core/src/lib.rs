@@ -69,9 +69,9 @@ pub use controller::RuntimeController;
 pub use observe::{ExecutionRecord, NodeDelta, ObservabilityReport};
 pub use ping::PingProcess;
 pub use traceroute::{TrHopProcess, TrSourceProcess};
-pub use workstation::{CommandRequest, ExecError, ExecTarget, Workstation};
 #[allow(deprecated)]
 pub use workstation::ShellError;
+pub use workstation::{CommandRequest, ExecError, ExecTarget, Workstation};
 
 use lv_kernel::Network;
 

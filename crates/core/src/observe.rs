@@ -96,7 +96,10 @@ impl ObservabilityReport {
             nodes: net.node_stats(),
             timeline: net.trace.events().to_vec(),
             trace_dropped: net.trace.dropped(),
-            executions: executions.iter().map(ExecutionRecord::from_execution).collect(),
+            executions: executions
+                .iter()
+                .map(ExecutionRecord::from_execution)
+                .collect(),
         }
     }
 
@@ -128,7 +131,10 @@ pub fn command_summary(c: &Command) -> String {
             }
         }
         Command::Blacklist { neighbor, add } => {
-            format!("blacklist {} {neighbor}", if *add { "add" } else { "remove" })
+            format!(
+                "blacklist {} {neighbor}",
+                if *add { "add" } else { "remove" }
+            )
         }
         Command::UpdateBeacon { period } => format!("update period={}ms", period.as_millis()),
         Command::SetLogging(on) => format!("log {}", if *on { "on" } else { "off" }),
@@ -162,7 +168,11 @@ pub fn outcome_summary(r: &CommandResult) -> String {
         CommandResult::Traceroute(t) => format!(
             "{} hop reports{}",
             t.hops.len(),
-            if t.reached { ", destination reached" } else { "" }
+            if t.reached {
+                ", destination reached"
+            } else {
+                ""
+            }
         ),
         CommandResult::Timeout => "timeout".into(),
         CommandResult::Error(code) => format!("error {code}"),

@@ -24,7 +24,15 @@ fn name_of(net: &Network, id: u16) -> String {
 pub fn render(net: &Network, exec: &Execution) -> Vec<String> {
     let mut out = Vec::new();
     match (&exec.command, &exec.result) {
-        (Command::Ping { dst, rounds, length, .. }, CommandResult::Ping(p)) => {
+        (
+            Command::Ping {
+                dst,
+                rounds,
+                length,
+                ..
+            },
+            CommandResult::Ping(p),
+        ) => {
             out.push(format!(
                 "Pinging {} with {} packets with {} bytes:",
                 name_of(net, *dst),
@@ -146,7 +154,10 @@ pub fn render(net: &Network, exec: &Execution) -> Vec<String> {
         (_, CommandResult::Log(rows)) => {
             out.push(format!("Event log ({} entries):", rows.len()));
             for r in rows {
-                out.push(format!("  [{:>8} ms] {:<10} {}", r.time_ms, r.code, r.detail));
+                out.push(format!(
+                    "  [{:>8} ms] {:<10} {}",
+                    r.time_ms, r.code, r.detail
+                ));
             }
         }
         (_, CommandResult::Power(p)) => out.push(format!("Power = {p}")),

@@ -193,9 +193,7 @@ impl Process for PingProcess {
     fn on_timer(&mut self, ctx: &mut SysCtx<'_>, token: u32) {
         // A round timer. Only the current round's timer matters; replies
         // already advance the sequence, making older timers stale.
-        if token == self.current_seq as u32
-            && self.rounds.iter().all(|r| r.seq as u32 != token)
-        {
+        if token == self.current_seq as u32 && self.rounds.iter().all(|r| r.seq as u32 != token) {
             self.advance(ctx);
         }
     }

@@ -292,8 +292,7 @@ mod tests {
                     payload,
                 }) = s
                 {
-                    if let Some(a) =
-                        rx.on_data(*req_id, *seq, *total, *ack_after, payload.clone())
+                    if let Some(a) = rx.on_data(*req_id, *seq, *total, *ack_after, payload.clone())
                     {
                         ack = Some(a);
                     }
@@ -450,8 +449,7 @@ mod tests {
                     if drop_counter.is_multiple_of(3) {
                         continue; // lost on the air
                     }
-                    if let Some(a) =
-                        rx.on_data(*req_id, *seq, *total, *ack_after, payload.clone())
+                    if let Some(a) = rx.on_data(*req_id, *seq, *total, *ack_after, payload.clone())
                     {
                         ack = Some(a);
                     }

@@ -286,9 +286,7 @@ pub fn parse_line(line: &str) -> Result<ShellInput, ParseError> {
             };
             Ok(ShellInput::Command(ShellCommand::ReadLog { max }))
         }
-        other => Err(ParseError(format!(
-            "unknown command: {other} (try `help`)"
-        ))),
+        other => Err(ParseError(format!("unknown command: {other} (try `help`)"))),
     }
 }
 
@@ -466,7 +464,10 @@ mod tests {
     #[test]
     fn run_and_misc_verbs() {
         assert_eq!(parse_line("run 5s").unwrap(), ShellInput::Run { secs: 5.0 });
-        assert_eq!(parse_line("run 0.5").unwrap(), ShellInput::Run { secs: 0.5 });
+        assert_eq!(
+            parse_line("run 0.5").unwrap(),
+            ShellInput::Run { secs: 0.5 }
+        );
         assert!(parse_line("run -1").is_err());
         assert_eq!(parse_line("pwd").unwrap(), ShellInput::Pwd);
         assert_eq!(parse_line("map").unwrap(), ShellInput::Map);

@@ -25,9 +25,7 @@
 //!   passes the task onward, and exits.
 
 use crate::commands::session_port;
-use crate::wire::{
-    HopRecord, MgmtReply, MgmtResponse, TrProbe, TrProbeReply, TrReport, TrTask,
-};
+use crate::wire::{HopRecord, MgmtReply, MgmtResponse, TrProbe, TrProbeReply, TrReport, TrTask};
 use lv_kernel::{Process, ProcessImage, RxMeta, SysCtx};
 use lv_net::packet::{NetPacket, Port};
 use lv_sim::{SimDuration, SimTime};
@@ -205,7 +203,9 @@ impl TrHopProcess {
     }
 
     fn report(&self, ctx: &mut SysCtx<'_>, record: HopRecord) {
-        let Some(task) = self.task.as_ref() else { return };
+        let Some(task) = self.task.as_ref() else {
+            return;
+        };
         let report = TrReport {
             session: task.session,
             record,
@@ -274,7 +274,9 @@ impl Process for TrHopProcess {
         let Ok(reply) = TrProbeReply::decode(&packet.payload) else {
             return;
         };
-        let Some(task) = self.task.as_mut() else { return };
+        let Some(task) = self.task.as_mut() else {
+            return;
+        };
         let Some(record) = task.record_from_reply(ctx, &reply, meta) else {
             return;
         };
@@ -441,7 +443,9 @@ impl Process for TrSourceProcess {
                 let Ok(reply) = TrProbeReply::decode(&packet.payload) else {
                     return;
                 };
-                let Some(task) = self.task.as_mut() else { return };
+                let Some(task) = self.task.as_mut() else {
+                    return;
+                };
                 let Some(record) = task.record_from_reply(ctx, &reply, meta) else {
                     return;
                 };
@@ -486,9 +490,10 @@ impl Process for TrSourceProcess {
             t if t > TOKEN_IDLE_BASE
                 // Idle watchdog: only the newest generation counts; any
                 // older one was superseded by a report re-arming it.
-                && t == TOKEN_IDLE_BASE + self.idle_gen && !self.finished => {
-                    self.finish(ctx);
-                }
+                && t == TOKEN_IDLE_BASE + self.idle_gen && !self.finished =>
+            {
+                self.finish(ctx);
+            }
             _ => {}
         }
     }

@@ -312,8 +312,8 @@ impl WireNeighbor {
         let tree_hops = buf[5];
         let name_len = buf[6] as usize;
         need(buf, 7 + name_len)?;
-        let name = String::from_utf8(buf[7..7 + name_len].to_vec())
-            .map_err(|_| WireError::Truncated)?;
+        let name =
+            String::from_utf8(buf[7..7 + name_len].to_vec()).map_err(|_| WireError::Truncated)?;
         Ok((
             WireNeighbor {
                 id,
@@ -511,7 +511,9 @@ pub struct HopRecord {
 
 impl HopRecord {
     fn flags(&self) -> u8 {
-        u8::from(self.reached_dst) | (u8::from(self.no_route) << 1) | (u8::from(self.probe_lost) << 2)
+        u8::from(self.reached_dst)
+            | (u8::from(self.no_route) << 1)
+            | (u8::from(self.probe_lost) << 2)
     }
 
     fn encode_into(&self, b: &mut Vec<u8>) {
@@ -774,14 +776,21 @@ impl WireLogEntry {
         let time_ms = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
         let code_len = buf[4] as usize;
         need(buf, 5 + code_len + 1)?;
-        let code = String::from_utf8(buf[5..5 + code_len].to_vec())
-            .map_err(|_| WireError::Truncated)?;
+        let code =
+            String::from_utf8(buf[5..5 + code_len].to_vec()).map_err(|_| WireError::Truncated)?;
         let off = 5 + code_len;
         let detail_len = buf[off] as usize;
         need(buf, off + 1 + detail_len)?;
         let detail = String::from_utf8(buf[off + 1..off + 1 + detail_len].to_vec())
             .map_err(|_| WireError::Truncated)?;
-        Ok((WireLogEntry { time_ms, code, detail }, off + 1 + detail_len))
+        Ok((
+            WireLogEntry {
+                time_ms,
+                code,
+                detail,
+            },
+            off + 1 + detail_len,
+        ))
     }
 
     /// Encode a run of records.
@@ -1452,7 +1461,10 @@ mod tests {
             Err(WireError::BadTag)
         );
         assert_eq!(BatchMsg::decode(&[0x99, 0]), Err(WireError::BadTag));
-        assert_eq!(PingProbe::decode(&[0x51, 0, 0, 0, 0]), Err(WireError::BadTag));
+        assert_eq!(
+            PingProbe::decode(&[0x51, 0, 0, 0, 0]),
+            Err(WireError::BadTag)
+        );
         assert_eq!(TrTask::decode(&[0x62, 0]), Err(WireError::Truncated));
     }
 

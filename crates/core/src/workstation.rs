@@ -392,8 +392,7 @@ impl Workstation {
                 })
             })
             .collect();
-        self.transcript
-            .extend(output::render(net, &execution));
+        self.transcript.extend(output::render(net, &execution));
         self.history.push(execution.clone());
         execution
     }

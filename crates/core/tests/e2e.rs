@@ -80,7 +80,9 @@ fn one_hop_ping_rtt_magnitude() {
     let mut net = line_network(2, 5.0, 4);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+    let exec = ws
+        .exec(&mut net, CommandRequest::ping(1, 1, 32, None))
+        .unwrap();
     let CommandResult::Ping(p) = &exec.result else {
         panic!("expected ping result, got {:?}", exec.result);
     };
@@ -108,7 +110,9 @@ fn ping_multiple_rounds() {
     let mut net = line_network(2, 5.0, 5);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.exec(&mut net, CommandRequest::ping(1, 3, 32, None)).unwrap();
+    let exec = ws
+        .exec(&mut net, CommandRequest::ping(1, 3, 32, None))
+        .unwrap();
     let CommandResult::Ping(p) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -123,7 +127,9 @@ fn ping_dead_node_times_out_cleanly() {
     net.node_mut(2).alive = false;
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.exec(&mut net, CommandRequest::ping(2, 1, 32, None)).unwrap();
+    let exec = ws
+        .exec(&mut net, CommandRequest::ping(2, 1, 32, None))
+        .unwrap();
     let CommandResult::Ping(p) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -138,7 +144,11 @@ fn multi_hop_ping_collects_per_hop_padding() {
     let mut net = line_network(4, 12.0, 7);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.exec(&mut net, CommandRequest::ping(3, 1, 16, Some(Port::GEOGRAPHIC)))
+    let exec = ws
+        .exec(
+            &mut net,
+            CommandRequest::ping(3, 1, 16, Some(Port::GEOGRAPHIC)),
+        )
         .unwrap();
     let CommandResult::Ping(p) = &exec.result else {
         panic!("{:?}", exec.result)
@@ -159,7 +169,12 @@ fn traceroute_reports_every_hop() {
     let mut net = line_network(4, 12.0, 8);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC)).unwrap();
+    let exec = ws
+        .exec(
+            &mut net,
+            CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC),
+        )
+        .unwrap();
     let CommandResult::Traceroute(t) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -212,7 +227,9 @@ fn neighbor_list_round_trip() {
     let mut net = line_network(3, 5.0, 10);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.2").unwrap(); // middle node
-    let exec = ws.exec(&mut net, CommandRequest::neighbor_list(true)).unwrap();
+    let exec = ws
+        .exec(&mut net, CommandRequest::neighbor_list(true))
+        .unwrap();
     let CommandResult::Neighbors(rows) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -235,13 +252,20 @@ fn blacklist_changes_routing() {
     let mut net = line_network(4, 12.0, 11);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let before = ws.exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC)).unwrap();
+    let before = ws
+        .exec(
+            &mut net,
+            CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC),
+        )
+        .unwrap();
     let CommandResult::Traceroute(t) = &before.result else {
         panic!("{:?}", before.result)
     };
     let first_hop_before = t.hops[0].record.far;
     assert!(!t.hops[0].record.no_route);
-    let exec = ws.exec(&mut net, CommandRequest::blacklist(first_hop_before, true)).unwrap();
+    let exec = ws
+        .exec(&mut net, CommandRequest::blacklist(first_hop_before, true))
+        .unwrap();
     assert_eq!(exec.result, CommandResult::Ok);
     assert!(
         net.node(0)
@@ -251,15 +275,29 @@ fn blacklist_changes_routing() {
             .unwrap()
             .blacklisted
     );
-    let after = ws.exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC)).unwrap();
+    let after = ws
+        .exec(
+            &mut net,
+            CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC),
+        )
+        .unwrap();
     if let CommandResult::Traceroute(t) = &after.result {
         if let Some(h) = t.hops.first() {
-            assert_ne!(h.record.far, first_hop_before, "blacklisted node still used");
+            assert_ne!(
+                h.record.far, first_hop_before,
+                "blacklisted node still used"
+            );
         }
     }
     // Un-blacklist restores the original route.
-    ws.exec(&mut net, CommandRequest::blacklist(first_hop_before, false)).unwrap();
-    let restored = ws.exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC)).unwrap();
+    ws.exec(&mut net, CommandRequest::blacklist(first_hop_before, false))
+        .unwrap();
+    let restored = ws
+        .exec(
+            &mut net,
+            CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC),
+        )
+        .unwrap();
     let CommandResult::Traceroute(t) = &restored.result else {
         panic!("{:?}", restored.result)
     };
@@ -271,7 +309,9 @@ fn blacklist_unknown_neighbor_errors() {
     let mut net = line_network(2, 5.0, 12);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.exec(&mut net, CommandRequest::blacklist(42, true)).unwrap();
+    let exec = ws
+        .exec(&mut net, CommandRequest::blacklist(42, true))
+        .unwrap();
     assert_eq!(exec.result, CommandResult::Error(3));
 }
 
@@ -280,7 +320,11 @@ fn update_beacon_reconfigures_node() {
     let mut net = line_network(2, 5.0, 13);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.2").unwrap();
-    let exec = ws.exec(&mut net, CommandRequest::update_beacon(SimDuration::from_millis(750)))
+    let exec = ws
+        .exec(
+            &mut net,
+            CommandRequest::update_beacon(SimDuration::from_millis(750)),
+        )
         .unwrap();
     assert_eq!(exec.result, CommandResult::Ok);
     assert_eq!(
@@ -314,7 +358,8 @@ fn transcript_has_paper_shape() {
     let mut net = line_network(2, 5.0, 15);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+    ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None))
+        .unwrap();
     let t = ws.transcript().join("\n");
     assert!(
         t.contains("Pinging 192.168.0.2 with 1 packets with 32 bytes:"),
@@ -337,7 +382,8 @@ fn one_hop_ping_costs_two_data_packets() {
     // pinging from the node the workstation bridges to (command + reply
     // are separate, counted below).
     let before = net.counters.get("tx.data");
-    ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+    ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None))
+        .unwrap();
     let after = net.counters.get("tx.data");
     // Total data packets: command request is local (bridge == source ⇒
     // no radio), probe + probe-reply on the air, summary is local too.
@@ -350,7 +396,12 @@ fn determinism_across_runs() {
         let mut net = line_network(3, 10.0, seed);
         let mut ws = Workstation::install(&mut net, 0);
         ws.cd(&net, "192.168.0.1").unwrap();
-        let exec = ws.exec(&mut net, CommandRequest::ping(2, 2, 32, Some(Port::GEOGRAPHIC))).unwrap();
+        let exec = ws
+            .exec(
+                &mut net,
+                CommandRequest::ping(2, 2, 32, Some(Port::GEOGRAPHIC)),
+            )
+            .unwrap();
         format!("{:?}", exec.result)
     };
     assert_eq!(run(99), run(99));
@@ -365,11 +416,15 @@ fn event_log_round_trip() {
     let exec = ws.exec(&mut net, CommandRequest::read_log(16)).unwrap();
     assert_eq!(exec.result, CommandResult::Log(vec![]));
     // Enable logging, then issue a few commands worth logging.
-    let exec = ws.exec(&mut net, CommandRequest::set_logging(true)).unwrap();
+    let exec = ws
+        .exec(&mut net, CommandRequest::set_logging(true))
+        .unwrap();
     assert_eq!(exec.result, CommandResult::Ok);
     ws.exec(&mut net, CommandRequest::get_power()).unwrap();
-    ws.exec(&mut net, CommandRequest::blacklist(0, true)).unwrap();
-    ws.exec(&mut net, CommandRequest::blacklist(0, false)).unwrap();
+    ws.exec(&mut net, CommandRequest::blacklist(0, true))
+        .unwrap();
+    ws.exec(&mut net, CommandRequest::blacklist(0, false))
+        .unwrap();
     // Fetch the log: the management requests themselves were logged.
     let exec = ws.exec(&mut net, CommandRequest::read_log(16)).unwrap();
     let CommandResult::Log(rows) = &exec.result else {
@@ -382,7 +437,8 @@ fn event_log_round_trip() {
         assert!(w[1].time_ms >= w[0].time_ms);
     }
     // Disable again: no further entries accumulate.
-    ws.exec(&mut net, CommandRequest::set_logging(false)).unwrap();
+    ws.exec(&mut net, CommandRequest::set_logging(false))
+        .unwrap();
     let before = rows.len();
     ws.exec(&mut net, CommandRequest::get_power()).unwrap();
     let exec = ws.exec(&mut net, CommandRequest::read_log(32)).unwrap();
@@ -411,7 +467,9 @@ fn every_channel_works() {
         assert_eq!(exec.result, CommandResult::Ok, "set channel {ch}");
         net.node_mut(0).channel = lv_radio::Channel::new(ch).unwrap();
         ws.cd(&net, "192.168.0.1").unwrap();
-        let exec = ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+        let exec = ws
+            .exec(&mut net, CommandRequest::ping(1, 1, 32, None))
+            .unwrap();
         let CommandResult::Ping(p) = &exec.result else {
             panic!("channel {ch}: {:?}", exec.result)
         };
@@ -433,12 +491,16 @@ fn sequential_commands_do_not_interfere() {
         assert_eq!(exec.result, CommandResult::Power(31), "round {round}");
         let exec = ws.exec(&mut net, CommandRequest::get_channel()).unwrap();
         assert_eq!(exec.result, CommandResult::Channel(17), "round {round}");
-        let exec = ws.exec(&mut net, CommandRequest::neighbor_list(false)).unwrap();
+        let exec = ws
+            .exec(&mut net, CommandRequest::neighbor_list(false))
+            .unwrap();
         let CommandResult::Neighbors(rows) = &exec.result else {
             panic!("round {round}: {:?}", exec.result)
         };
         assert_eq!(rows.len(), 2, "round {round}");
-        let exec = ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+        let exec = ws
+            .exec(&mut net, CommandRequest::ping(1, 1, 32, None))
+            .unwrap();
         assert!(
             matches!(&exec.result, CommandResult::Ping(p) if p.received == 1),
             "round {round}: {:?}",
@@ -464,7 +526,12 @@ fn multi_hop_ping_over_flooding() {
     net.run_for(SimDuration::from_secs(20));
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    let exec = ws.exec(&mut net, CommandRequest::ping(3, 1, 16, Some(Port::FLOODING))).unwrap();
+    let exec = ws
+        .exec(
+            &mut net,
+            CommandRequest::ping(3, 1, 16, Some(Port::FLOODING)),
+        )
+        .unwrap();
     let CommandResult::Ping(p) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -504,7 +571,9 @@ fn loaded_link_reports_nonzero_queue() {
     // catch its queue non-empty.
     let mut saw_queue = false;
     for _ in 0..10 {
-        let exec = ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+        let exec = ws
+            .exec(&mut net, CommandRequest::ping(1, 1, 32, None))
+            .unwrap();
         if let CommandResult::Ping(p) = &exec.result {
             if p.rounds.first().is_some_and(|r| r.queue_fwd > 0) {
                 saw_queue = true;
@@ -627,7 +696,10 @@ fn traceroute_execution_carries_flight_recorder_evidence() {
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
     let exec = ws
-        .exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC))
+        .exec(
+            &mut net,
+            CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC),
+        )
         .unwrap();
     let CommandResult::Traceroute(t) = &exec.result else {
         panic!("{:?}", exec.result)
@@ -650,7 +722,11 @@ fn traceroute_execution_carries_flight_recorder_evidence() {
     assert!(msgs.contains("net.deliver"), "no deliver events:\n{msgs}");
 
     // Global counter delta: the probe cost real packets.
-    assert!(exec.counter_delta.get("tx.data") > 0, "{:?}", exec.counter_delta);
+    assert!(
+        exec.counter_delta.get("tx.data") > 0,
+        "{:?}",
+        exec.counter_delta
+    );
 
     // Per-hop profile: every node on the 0→1→2→3 line moved its own
     // counters during the window, and the relays show forwarding work.
@@ -677,9 +753,13 @@ fn observability_report_round_trips_through_json() {
     let mut net = line_network(4, 12.0, 41);
     let mut ws = Workstation::install(&mut net, 0);
     ws.cd(&net, "192.168.0.1").unwrap();
-    ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
-    ws.exec(&mut net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC))
+    ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None))
         .unwrap();
+    ws.exec(
+        &mut net,
+        CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC),
+    )
+    .unwrap();
 
     let report = ws.report(&net);
     assert_eq!(report.node_count, 4);

@@ -29,9 +29,8 @@ fn arb_cmd() -> impl Strategy<Value = MgmtCommand> {
                 port
             }
         ),
-        (any::<u16>(), any::<u8>(), any::<u8>()).prop_map(|(dst, length, port)| {
-            MgmtCommand::Traceroute { dst, length, port }
-        }),
+        (any::<u16>(), any::<u8>(), any::<u8>())
+            .prop_map(|(dst, length, port)| { MgmtCommand::Traceroute { dst, length, port } }),
         any::<u8>().prop_map(|max| MgmtCommand::ReadLog { max }),
     ]
 }

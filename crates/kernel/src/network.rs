@@ -10,8 +10,8 @@
 //! The loop is strictly deterministic: one virtual clock, FIFO tie
 //! breaking, and per-node RNG streams (see `DESIGN.md` §7).
 
-use crate::node::Node;
 use crate::names::{default_name, NameRegistry};
+use crate::node::Node;
 use crate::process::{Effect, Process, RxMeta, SysCtx};
 use crate::resources::ResourceError;
 use lv_mac::{Frame, FrameKind, MacAction, Reception, BROADCAST};
@@ -74,6 +74,86 @@ enum Event {
     },
     Housekeeping {
         node: u16,
+    },
+    /// A scheduled world mutation from the dynamics engine.
+    Dynamics {
+        action: DynamicsAction,
+    },
+}
+
+/// One mid-run world mutation, applied at its scheduled virtual time by
+/// the event loop (so it interleaves deterministically with traffic).
+///
+/// These are the primitive moves the testbed's `DynamicsPlan` compiles
+/// ramps, bursts, and churn into. Each application bumps a `dyn.*`
+/// counter and emits an `Info`-level trace event, so the flight
+/// recorder can explain *what changed and when* alongside the packet
+/// timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicsAction {
+    /// Install a path-loss override on the directed link `from → to`
+    /// (one step of a gradual attenuation ramp, or a hard block).
+    SetLinkLoss {
+        /// Transmitting side of the directed link.
+        from: u16,
+        /// Receiving side of the directed link.
+        to: u16,
+        /// Extra path loss in dB on top of the propagation model.
+        extra_loss_db: f64,
+        /// Hard-block the link regardless of loss.
+        blocked: bool,
+    },
+    /// Remove any override on the directed link `from → to`.
+    ClearLinkLoss {
+        /// Transmitting side of the directed link.
+        from: u16,
+        /// Receiving side of the directed link.
+        to: u16,
+    },
+    /// Raise the noise floor on `channel` by `delta_db` (the opening
+    /// edge of a bursty interference window).
+    SetChannelNoise {
+        /// Affected 802.15.4 channel.
+        channel: Channel,
+        /// Noise-floor offset in dB.
+        delta_db: f64,
+    },
+    /// End the interference window on `channel`.
+    ClearChannelNoise {
+        /// Affected 802.15.4 channel.
+        channel: Channel,
+    },
+    /// Power the node off: radio dead, in-flight transmissions aborted.
+    NodeDown {
+        /// The node that dies.
+        id: u16,
+    },
+    /// Power the node back on with cold-boot semantics (empty MAC queue
+    /// and neighbor table; processes and routers still installed).
+    NodeUp {
+        /// The node that reboots.
+        id: u16,
+    },
+    /// Retune the node's radio channel.
+    SetNodeChannel {
+        /// The reconfigured node.
+        id: u16,
+        /// New channel.
+        channel: Channel,
+    },
+    /// Change the node's transmit power level.
+    SetNodePower {
+        /// The reconfigured node.
+        id: u16,
+        /// New power level.
+        power: lv_radio::PowerLevel,
+    },
+    /// Physically relocate the node.
+    MoveNode {
+        /// The moved node.
+        id: u16,
+        /// New position.
+        position: lv_radio::units::Position,
     },
 }
 
@@ -196,7 +276,8 @@ impl Network {
                 net.queue.push(net.now + offset, Event::Beacon { node: i });
             }
             let hk = net.config.housekeeping_period;
-            net.queue.push(net.now + hk, Event::Housekeeping { node: i });
+            net.queue
+                .push(net.now + hk, Event::Housekeeping { node: i });
         }
         net
     }
@@ -258,8 +339,10 @@ impl Network {
         params: Vec<u8>,
     ) -> Result<ProcessId, ResourceError> {
         let pid = self.nodes[node as usize].register_process(process, params)?;
-        self.queue
-            .push(self.now + self.config.cpu_cost, Event::ProcessStart { node, pid });
+        self.queue.push(
+            self.now + self.config.cpu_cost,
+            Event::ProcessStart { node, pid },
+        );
         Ok(pid)
     }
 
@@ -364,7 +447,159 @@ impl Network {
                 let hk = self.config.housekeeping_period;
                 self.queue.push(self.now + hk, Event::Housekeeping { node });
             }
+            Event::Dynamics { action } => self.apply_dynamics(action),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamics engine
+    // ------------------------------------------------------------------
+
+    /// Schedule a world mutation at virtual time `at`. The mutation is
+    /// dispatched by the event loop like any other event, so it
+    /// interleaves deterministically with traffic and FIFO tie-breaking
+    /// orders same-instant mutations by scheduling order. Scheduling
+    /// nothing leaves the run bit-identical to a static scenario.
+    pub fn schedule_dynamics(&mut self, at: SimTime, action: DynamicsAction) {
+        let at = at.max(self.now);
+        self.queue.push(at, Event::Dynamics { action });
+    }
+
+    fn apply_dynamics(&mut self, action: DynamicsAction) {
+        let now = self.now;
+        match action {
+            DynamicsAction::SetLinkLoss {
+                from,
+                to,
+                extra_loss_db,
+                blocked,
+            } => {
+                self.medium.set_override(
+                    from,
+                    to,
+                    lv_radio::medium::LinkOverride {
+                        extra_loss_db,
+                        blocked,
+                    },
+                );
+                self.counters.incr_id(CounterId::DynLinkOverride);
+                if self.trace.accepts(TraceLevel::Info) {
+                    self.trace.emit(
+                        now,
+                        from,
+                        TraceLevel::Info,
+                        format!(
+                            "dyn.link {from}->{to} loss={extra_loss_db:.1}dB{}",
+                            if blocked { " blocked" } else { "" }
+                        ),
+                    );
+                }
+            }
+            DynamicsAction::ClearLinkLoss { from, to } => {
+                self.medium.clear_override(from, to);
+                self.counters.incr_id(CounterId::DynLinkOverride);
+                if self.trace.accepts(TraceLevel::Info) {
+                    self.trace.emit(
+                        now,
+                        from,
+                        TraceLevel::Info,
+                        format!("dyn.link {from}->{to} cleared"),
+                    );
+                }
+            }
+            DynamicsAction::SetChannelNoise { channel, delta_db } => {
+                self.medium.set_channel_noise(channel, delta_db);
+                self.counters.incr_id(CounterId::DynChannelNoise);
+                if self.trace.accepts(TraceLevel::Info) {
+                    self.trace.emit(
+                        now,
+                        Trace::NO_NODE,
+                        TraceLevel::Info,
+                        format!("dyn.noise ch={} +{delta_db:.1}dB", channel.number()),
+                    );
+                }
+            }
+            DynamicsAction::ClearChannelNoise { channel } => {
+                self.medium.clear_channel_noise(channel);
+                self.counters.incr_id(CounterId::DynChannelNoise);
+                if self.trace.accepts(TraceLevel::Info) {
+                    self.trace.emit(
+                        now,
+                        Trace::NO_NODE,
+                        TraceLevel::Info,
+                        format!("dyn.noise ch={} cleared", channel.number()),
+                    );
+                }
+            }
+            DynamicsAction::NodeDown { id } => {
+                self.nodes[id as usize].alive = false;
+                self.medium.set_dead(id, true);
+                self.abort_transmissions_of(id);
+                self.counters.incr_id(CounterId::DynNodeDown);
+                if self.trace.accepts(TraceLevel::Info) {
+                    self.trace
+                        .emit(now, id, TraceLevel::Info, "dyn.node down".to_owned());
+                }
+            }
+            DynamicsAction::NodeUp { id } => {
+                self.medium.set_dead(id, false);
+                self.nodes[id as usize].reboot();
+                self.counters.incr_id(CounterId::DynNodeUp);
+                if self.trace.accepts(TraceLevel::Info) {
+                    self.trace
+                        .emit(now, id, TraceLevel::Info, "dyn.node up (reboot)".to_owned());
+                }
+            }
+            DynamicsAction::SetNodeChannel { id, channel } => {
+                self.nodes[id as usize].channel = channel;
+                self.counters.incr_id(CounterId::DynReconfig);
+                if self.trace.accepts(TraceLevel::Info) {
+                    self.trace.emit(
+                        now,
+                        id,
+                        TraceLevel::Info,
+                        format!("dyn.reconfig channel={}", channel.number()),
+                    );
+                }
+            }
+            DynamicsAction::SetNodePower { id, power } => {
+                self.nodes[id as usize].power = power;
+                self.counters.incr_id(CounterId::DynReconfig);
+                if self.trace.accepts(TraceLevel::Info) {
+                    self.trace.emit(
+                        now,
+                        id,
+                        TraceLevel::Info,
+                        format!("dyn.reconfig power={}", power.level()),
+                    );
+                }
+            }
+            DynamicsAction::MoveNode { id, position } => {
+                self.medium.set_position(id, position);
+                self.counters.incr_id(CounterId::DynReconfig);
+                if self.trace.accepts(TraceLevel::Info) {
+                    self.trace.emit(
+                        now,
+                        id,
+                        TraceLevel::Info,
+                        format!("dyn.reconfig move=({:.1},{:.1})", position.x, position.y),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Abort every in-flight transmission by `node`: drop its entries
+    /// from the active table (pending `RxEnd`/`TxEnd` events find no
+    /// entry and fall through harmlessly) and release its radio-busy and
+    /// ack reservations so a later reboot starts from a clean slate.
+    /// This is the churn-path guarantee that `set_dead` mid-frame leaves
+    /// no stale active-transmission state behind.
+    fn abort_transmissions_of(&mut self, node: u16) {
+        self.active.retain(|_, tx| tx.sender != node);
+        let idx = node as usize;
+        self.tx_busy_until[idx] = self.now;
+        self.ack_reserved_until[idx] = self.now;
     }
 
     fn on_beacon_tick(&mut self, node: u16) {
@@ -390,7 +625,8 @@ impl Network {
         } else {
             SimDuration::from_nanos(self.nodes[idx].rng.below(jitter.as_nanos()))
         };
-        self.queue.push(self.now + period + j, Event::Beacon { node });
+        self.queue
+            .push(self.now + period + j, Event::Beacon { node });
     }
 
     /// First transmission id that could still overlap an interval
@@ -473,10 +709,7 @@ impl Network {
             if other.channel != tx.channel || other.start >= tx.end || other.end <= tx.start {
                 continue;
             }
-            if let Some(p) = self
-                .medium
-                .mean_rx_power(other.sender, node, other.power)
-            {
+            if let Some(p) = self.medium.mean_rx_power(other.sender, node, other.power) {
                 interference_mw += p.to_mw();
             }
         }
@@ -484,12 +717,28 @@ impl Network {
             self.counters.incr_id(CounterId::RxHalfduplexMiss);
             return;
         }
-        let (sender, power, wire_len, frame) =
-            (tx.sender, tx.power, tx.wire_len, tx.frame.clone());
+        let (sender, power, wire_len, channel, frame) = (
+            tx.sender,
+            tx.power,
+            tx.wire_len,
+            tx.channel,
+            tx.frame.clone(),
+        );
         let assessment = {
             let medium = &self.medium;
             let nn = &mut self.nodes[idx];
-            medium.assess(sender, node, power, wire_len, interference_mw, &mut nn.rng)
+            // Channel-aware: picks up any bursty-interference noise
+            // offset on the frame's channel (bit-identical to `assess`
+            // while no offset is set).
+            medium.assess_on(
+                sender,
+                node,
+                power,
+                wire_len,
+                interference_mw,
+                channel,
+                &mut nn.rng,
+            )
         };
         let Some(a) = assessment else {
             return; // below sensitivity (or link blocked)
@@ -568,9 +817,7 @@ impl Network {
                     let nn = &mut self.nodes[idx];
                     let pos = medium.position(node);
                     let count = medium.node_count();
-                    let locs = move |id: u16| {
-                        ((id as usize) < count).then(|| medium.position(id))
-                    };
+                    let locs = move |id: u16| ((id as usize) < count).then(|| medium.position(id));
                     match nn.stack.on_receive(pkt, hop, pos, &locs) {
                         RxAction::DeliverTo { pid, packet } => Next::Deliver(pid, packet),
                         RxAction::Forward { next_hop, packet } => {
@@ -687,7 +934,10 @@ impl Network {
                             at,
                             node,
                             TraceLevel::Debug,
-                            format!("mac.failed dst={} seq={} reason={reason:?}", frame.dst, frame.seq),
+                            format!(
+                                "mac.failed dst={} seq={} reason={reason:?}",
+                                frame.dst, frame.seq
+                            ),
                         );
                     }
                     if !frame.is_broadcast() {
@@ -704,8 +954,12 @@ impl Network {
                     self.counters.incr_id(CounterId::MacAnomaly);
                     if self.trace.accepts(TraceLevel::Debug) {
                         let at = self.now;
-                        self.trace
-                            .emit(at, node, TraceLevel::Debug, format!("mac.anomaly: {context}"));
+                        self.trace.emit(
+                            at,
+                            node,
+                            TraceLevel::Debug,
+                            format!("mac.anomaly: {context}"),
+                        );
                     }
                 }
             }
@@ -838,12 +1092,22 @@ impl Network {
             let pos = medium.position(node);
             let count = medium.node_count();
             let locs = move |id: u16| ((id as usize) < count).then(|| medium.position(id));
-            let resolver = |port: lv_net::packet::Port, dst: u16| {
-                stack.query_next_hop(port, dst, pos, &locs)
-            };
+            let resolver =
+                |port: lv_net::packet::Port, dst: u16| stack.query_next_hop(port, dst, pos, &locs);
             let mut ctx = SysCtx::new(
-                now, node, &name, pid, &params, power, channel, qlen, &snapshot,
-                &log_snapshot, rng, &routers, &resolver,
+                now,
+                node,
+                &name,
+                pid,
+                &params,
+                power,
+                channel,
+                qlen,
+                &snapshot,
+                &log_snapshot,
+                rng,
+                &routers,
+                &resolver,
             );
             hook(proc_box.as_mut(), &mut ctx);
             ctx.take_effects()
@@ -878,15 +1142,13 @@ impl Network {
                                 .make_packet(dst, carrying_port, app_port, payload, padding);
                         let pos = medium.position(node);
                         let count = medium.node_count();
-                        let locs = move |id: u16| {
-                            ((id as usize) < count).then(|| medium.position(id))
-                        };
+                        let locs =
+                            move |id: u16| ((id as usize) < count).then(|| medium.position(id));
                         match n.stack.route_local(pkt, pos, &locs) {
                             RxAction::Forward { next_hop, packet } => {
                                 let bytes = packet.encode();
                                 let (mac, rng) = (&mut n.mac, &mut n.rng);
-                                let (ok, actions) =
-                                    mac.send(FrameKind::Data, next_hop, bytes, rng);
+                                let (ok, actions) = mac.send(FrameKind::Data, next_hop, bytes, rng);
                                 if ok {
                                     self.counters.incr_id(CounterId::NetOriginate);
                                     Out::Actions(actions)
@@ -1265,6 +1527,176 @@ mod tests {
         net.run_for(SimDuration::from_millis(10));
         assert_eq!(*got.borrow(), 1);
     }
+
+    /// Step the net in 20 µs slices until `sender` has a frame on the
+    /// air, panicking if it never transmits.
+    fn run_until_airborne(net: &mut Network, sender: u16) {
+        let deadline = net.now() + SimDuration::from_secs(1);
+        loop {
+            let now = net.now;
+            if net
+                .active
+                .values()
+                .any(|tx| tx.sender == sender && tx.end > now)
+            {
+                return;
+            }
+            assert!(now < deadline, "node {sender} never started transmitting");
+            net.run_until(now + SimDuration::from_micros(20));
+        }
+    }
+
+    /// Satellite regression: killing a node while its frame is on the
+    /// air must truncate its active-transmission entries, release the
+    /// radio-busy and ack reservations, and deliver nothing from the
+    /// aborted frame.
+    #[test]
+    fn node_down_mid_flight_leaves_no_stale_transmissions() {
+        let mut net = Network::with_config(
+            line_medium(2, 5.0, 7),
+            7,
+            NetworkConfig {
+                beacons_enabled: false,
+                ..NetworkConfig::default()
+            },
+        );
+        let received = Rc::new(RefCell::new(Vec::new()));
+        net.spawn_process(
+            1,
+            Box::new(Echo {
+                port: Port(50),
+                carry: Port(50),
+                received: received.clone(),
+            }),
+            vec![],
+        )
+        .unwrap();
+        let replies = Rc::new(RefCell::new(0));
+        net.spawn_process(
+            0,
+            Box::new(OneShot {
+                dst: 1,
+                port: Port(50),
+                got_reply: replies.clone(),
+            }),
+            vec![],
+        )
+        .unwrap();
+        run_until_airborne(&mut net, 0);
+        // Kill the sender mid-frame.
+        net.schedule_dynamics(net.now(), DynamicsAction::NodeDown { id: 0 });
+        net.run_for(SimDuration::from_micros(1));
+        assert_eq!(net.counters.get("dyn.node_down"), 1);
+        assert!(
+            net.active.values().all(|tx| tx.sender != 0),
+            "dead sender must not keep active-transmission entries"
+        );
+        assert!(net.tx_busy_until[0] <= net.now());
+        assert!(net.ack_reserved_until[0] <= net.now());
+        // The aborted frame never arrives, so the echo never fires.
+        net.run_for(SimDuration::from_secs(2));
+        assert!(received.borrow().is_empty());
+        assert_eq!(*replies.borrow(), 0);
+    }
+
+    /// Satellite regression: hard-blocking a link while a frame is in
+    /// flight is decided at reception end (`assess_on` consults the
+    /// override), resolves deterministically under replay, and leaves
+    /// no transmission pinned in the active table.
+    #[test]
+    fn mid_flight_link_block_is_deterministic_and_drops_the_frame() {
+        let run = |seed: u64| {
+            let mut net = Network::with_config(
+                line_medium(2, 5.0, seed),
+                seed,
+                NetworkConfig {
+                    beacons_enabled: false,
+                    ..NetworkConfig::default()
+                },
+            );
+            let received = Rc::new(RefCell::new(Vec::new()));
+            net.spawn_process(
+                1,
+                Box::new(Echo {
+                    port: Port(51),
+                    carry: Port(51),
+                    received: received.clone(),
+                }),
+                vec![],
+            )
+            .unwrap();
+            let replies = Rc::new(RefCell::new(0));
+            net.spawn_process(
+                0,
+                Box::new(OneShot {
+                    dst: 1,
+                    port: Port(51),
+                    got_reply: replies.clone(),
+                }),
+                vec![],
+            )
+            .unwrap();
+            run_until_airborne(&mut net, 0);
+            net.schedule_dynamics(
+                net.now(),
+                DynamicsAction::SetLinkLoss {
+                    from: 0,
+                    to: 1,
+                    extra_loss_db: 0.0,
+                    blocked: true,
+                },
+            );
+            net.run_for(SimDuration::from_secs(2));
+            // The frame completed on the sender side…
+            assert!(net.counters.get("tx.data") >= 1);
+            // …but the blocked receiver never decoded it.
+            assert!(received.borrow().is_empty());
+            assert_eq!(*replies.borrow(), 0);
+            // Nothing is left pinned mid-flight.
+            let now = net.now;
+            assert!(net.active.values().all(|tx| tx.end <= now));
+            format!(
+                "{:?} {:?} {}",
+                net.counters,
+                net.node_stats(),
+                net.events_dispatched()
+            )
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    /// Satellite regression: a death + cold-reboot churn cycle clears
+    /// the rebooted node's volatile state, lets the peer expire the
+    /// stale entry, and beacons rebuild both directions afterwards.
+    #[test]
+    fn churn_death_and_reboot_rebuilds_neighbor_state() {
+        let mut net = Network::new(line_medium(2, 5.0, 5), 5);
+        net.run_for(SimDuration::from_secs(10));
+        assert!(net.node(0).stack.neighbors.get(1).is_some());
+        assert!(net.node(1).stack.neighbors.get(0).is_some());
+        let t0 = net.now();
+        net.schedule_dynamics(
+            t0 + SimDuration::from_secs(1),
+            DynamicsAction::NodeDown { id: 0 },
+        );
+        net.schedule_dynamics(
+            t0 + SimDuration::from_secs(30),
+            DynamicsAction::NodeUp { id: 0 },
+        );
+        // While node 0 is dark its peer expires the stale entry…
+        net.run_until(t0 + SimDuration::from_secs(30));
+        net.run_for(SimDuration::from_millis(1));
+        assert!(net.node(1).stack.neighbors.get(0).is_none());
+        // …and the reboot comes back alive with an empty table.
+        assert!(net.node(0).alive);
+        assert!(net.node(0).stack.neighbors.get(1).is_none());
+        // Beacons rebuild both directions.
+        net.run_for(SimDuration::from_secs(15));
+        assert!(net.node(0).stack.neighbors.get(1).is_some());
+        assert!(net.node(1).stack.neighbors.get(0).is_some());
+        assert_eq!(net.counters.get("dyn.node_down"), 1);
+        assert_eq!(net.counters.get("dyn.node_up"), 1);
+    }
 }
 
 #[cfg(test)]
@@ -1392,7 +1824,12 @@ mod collision_tests {
 
     /// Digest of everything a run can observably produce.
     fn run_digest(net: &Network) -> String {
-        format!("{:?} {:?} {}", net.counters, net.node_stats(), net.events_dispatched())
+        format!(
+            "{:?} {:?} {}",
+            net.counters,
+            net.node_stats(),
+            net.events_dispatched()
+        )
     }
 
     fn contention_net(seed: u64) -> Network {
@@ -1433,7 +1870,10 @@ mod collision_tests {
             let mut never = contention_net(seed);
             never.prune_at = usize::MAX;
             never.run_for(SimDuration::from_secs(3));
-            assert!(never.active.len() > 200, "never-prune run must retain history");
+            assert!(
+                never.active.len() > 200,
+                "never-prune run must retain history"
+            );
 
             assert_eq!(run_digest(&eager), run_digest(&never), "seed {seed}");
         }

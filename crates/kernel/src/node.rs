@@ -105,6 +105,18 @@ impl Node {
         }
     }
 
+    /// Cold-reboot the node's volatile radio/stack state after a power
+    /// cycle (node-churn dynamics). The MAC — queue, CSMA machine,
+    /// sequence numbers — and the kernel neighbor table live in RAM and
+    /// come back empty; installed processes, routers, the flash ledger,
+    /// and the node's RNG stream survive (the stream is the node's
+    /// identity in the deterministic replay, not its memory).
+    pub fn reboot(&mut self) {
+        self.mac = Mac::new(self.id, Self::liteos_csma(), TxQueue::DEFAULT_CAPACITY);
+        self.stack.on_reboot();
+        self.alive = true;
+    }
+
     /// Register a process (image charged, pid allocated). The caller
     /// (the network) is responsible for scheduling its `on_start`.
     pub fn register_process(
@@ -200,7 +212,8 @@ mod tests {
         let p1 = n.register_process(Box::new(Nop), vec![]).unwrap();
         let p2 = n.register_process(Box::new(Nop), vec![]).unwrap();
         assert_ne!(p1, p2);
-        assert_eq!(n.resources.flash_used(), 200);
+        // Same stored program file: flash once, RAM per instance.
+        assert_eq!(n.resources.flash_used(), 100);
         assert_eq!(n.resources.ram_used(), 20);
     }
 
@@ -208,9 +221,7 @@ mod tests {
     fn remove_releases_ram_keeps_flash() {
         let mut n = Node::new(0, "192.168.0.1".into(), 1);
         let pid = n.register_process(Box::new(Nop), vec![]).unwrap();
-        n.stack
-            .subscribe(lv_net::packet::Port(30), pid)
-            .unwrap();
+        n.stack.subscribe(lv_net::packet::Port(30), pid).unwrap();
         n.remove_process(pid);
         assert_eq!(n.resources.ram_used(), 0);
         assert_eq!(n.resources.flash_used(), 100);

@@ -71,6 +71,12 @@ pub struct ResourceAccount {
     ram_capacity: u32,
     flash_used: u32,
     ram_used: u32,
+    /// Program files currently stored in flash. Flash is charged once
+    /// per stored executable, not once per launch: re-spawning a
+    /// command reuses the stored file (LiteOS keeps program files
+    /// across process exits), so a long diagnosis session does not leak
+    /// flash until every spawn fails.
+    stored: Vec<ProcessImage>,
 }
 
 impl ResourceAccount {
@@ -93,17 +99,23 @@ impl ResourceAccount {
             ram_capacity,
             flash_used: 0,
             ram_used: 0,
+            stored: Vec::new(),
         }
     }
 
-    /// Charge `image`; refuses if either budget would overflow.
+    /// Charge `image`; refuses if either budget would overflow. An
+    /// image already stored in flash is charged RAM only — launching a
+    /// stored program again writes nothing new to the program store.
     pub fn register(&mut self, image: ProcessImage) -> Result<(), ResourceError> {
-        let flash_free = self.flash_capacity - self.flash_used;
-        if image.flash_bytes > flash_free {
-            return Err(ResourceError::FlashExhausted {
-                requested: image.flash_bytes,
-                available: flash_free,
-            });
+        let new_file = !self.stored.contains(&image);
+        if new_file {
+            let flash_free = self.flash_capacity - self.flash_used;
+            if image.flash_bytes > flash_free {
+                return Err(ResourceError::FlashExhausted {
+                    requested: image.flash_bytes,
+                    available: flash_free,
+                });
+            }
         }
         let ram_free = self.ram_capacity - self.ram_used;
         if image.ram_bytes > ram_free {
@@ -112,7 +124,10 @@ impl ResourceAccount {
                 available: ram_free,
             });
         }
-        self.flash_used += image.flash_bytes;
+        if new_file {
+            self.flash_used += image.flash_bytes;
+            self.stored.push(image);
+        }
         self.ram_used += image.ram_bytes;
         Ok(())
     }
@@ -126,7 +141,10 @@ impl ResourceAccount {
 
     /// Fully release `image` (program file deleted).
     pub fn release(&mut self, image: ProcessImage) {
-        self.flash_used = self.flash_used.saturating_sub(image.flash_bytes);
+        if let Some(idx) = self.stored.iter().position(|i| *i == image) {
+            self.stored.remove(idx);
+            self.flash_used = self.flash_used.saturating_sub(image.flash_bytes);
+        }
         self.ram_used = self.ram_used.saturating_sub(image.ram_bytes);
     }
 
@@ -202,15 +220,36 @@ mod tests {
     #[test]
     fn flash_exhaustion_detected() {
         let mut acct = ResourceAccount::new(1000, 1 << 20);
-        let img = ProcessImage {
+        acct.register(ProcessImage {
             flash_bytes: 600,
             ram_bytes: 1,
-        };
-        acct.register(img).unwrap();
+        })
+        .unwrap();
+        // A *different* program file no longer fits…
         assert!(matches!(
-            acct.register(img),
+            acct.register(ProcessImage {
+                flash_bytes: 601,
+                ram_bytes: 1,
+            }),
             Err(ResourceError::FlashExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn respawning_stored_image_does_not_leak_flash() {
+        // The dynamics-soak regression: a diagnosis session spawns the
+        // same ping/traceroute images hundreds of times. Flash must be
+        // charged once per stored file, or the node wedges mid-soak.
+        let mut acct = ResourceAccount::micaz();
+        for _ in 0..500 {
+            acct.register(ProcessImage::TRACEROUTE).unwrap();
+            acct.release_ram(ProcessImage::TRACEROUTE);
+        }
+        assert_eq!(acct.flash_used(), ProcessImage::TRACEROUTE.flash_bytes);
+        assert_eq!(acct.ram_used(), 0);
+        // Deleting the file frees the flash exactly once.
+        acct.release(ProcessImage::TRACEROUTE);
+        assert_eq!(acct.flash_used(), 0);
     }
 
     #[test]

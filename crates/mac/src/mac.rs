@@ -70,7 +70,8 @@ impl Mac {
                 MacAction::StartTx { .. } => self.counters.incr_id(CounterId::MacTxAttempt),
                 MacAction::Delivered { retries, .. } => {
                     self.counters.incr_id(CounterId::MacDelivered);
-                    self.counters.add_id(CounterId::MacRetries, u64::from(*retries));
+                    self.counters
+                        .add_id(CounterId::MacRetries, u64::from(*retries));
                 }
                 MacAction::Failed { reason, .. } => {
                     self.counters.incr_id(reason.counter_id());
@@ -313,10 +314,7 @@ mod tests {
         let mut r = rng();
         let f = Frame::data(1, 2, 7, vec![42]);
         let (actions, delivered) = m.on_frame_received(rx(f), &mut r);
-        assert_eq!(
-            actions,
-            vec![MacAction::SendAck { dst: 1, seq: 7 }]
-        );
+        assert_eq!(actions, vec![MacAction::SendAck { dst: 1, seq: 7 }]);
         assert_eq!(delivered.unwrap().frame.payload, vec![42]);
     }
 

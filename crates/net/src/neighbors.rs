@@ -225,6 +225,34 @@ impl NeighborTable {
             .retain(|e| now.saturating_since(e.last_heard) <= timeout);
     }
 
+    /// Forget every neighbor (cold reboot: the table lives in RAM).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Degradation watchdog (RADIUS-style): blacklist confirmed
+    /// neighbors whose bidirectional quality fell below `below`, and
+    /// clear the bit again once quality recovers above `clear_above`
+    /// (hysteresis so a link hovering at the threshold does not flap).
+    /// Only entries with a confirmed outbound direction are judged —
+    /// a freshly heard neighbor still carries the 0.4 unconfirmed
+    /// discount and must not be condemned on that alone. Returns
+    /// `(newly_blacklisted, recovered)`.
+    pub fn blacklist_degraded(&mut self, below: f64, clear_above: f64) -> (usize, usize) {
+        let (mut tripped, mut recovered) = (0, 0);
+        for e in self.entries.iter_mut().filter(|e| e.outbound.is_some()) {
+            let q = e.bidirectional();
+            if !e.blacklisted && q < below {
+                e.blacklisted = true;
+                tripped += 1;
+            } else if e.blacklisted && q > clear_above {
+                e.blacklisted = false;
+                recovered += 1;
+            }
+        }
+        (tripped, recovered)
+    }
+
     /// Usable (non-blacklisted, quality ≥ `min_quality`) neighbors.
     pub fn usable(&self, min_quality: f64) -> impl Iterator<Item = &NeighborEntry> {
         self.entries.iter().filter(move |e| e.usable(min_quality))

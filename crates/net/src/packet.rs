@@ -287,7 +287,10 @@ mod tests {
             assert!(!p.append_hop_quality(HopQuality { lqi: 101, rssi: -1 }));
             assert_eq!(p.wire_len(), frozen);
         }
-        assert_eq!(p.hop_qualities().len(), PAYLOAD_AREA / HopQuality::WIRE_BYTES);
+        assert_eq!(
+            p.hop_qualities().len(),
+            PAYLOAD_AREA / HopQuality::WIRE_BYTES
+        );
     }
 
     #[test]

@@ -115,10 +115,7 @@ mod tests {
     #[test]
     fn forwards_to_neighbor_nearest_destination() {
         // Node 2 knows neighbors 1 and 3; packet headed to node 5.
-        let nt = table_with(&[
-            (1, line_loc(1).unwrap()),
-            (3, line_loc(3).unwrap()),
-        ]);
+        let nt = table_with(&[(1, line_loc(1).unwrap()), (3, line_loc(3).unwrap())]);
         let mut r = Geographic::new(Port::GEOGRAPHIC);
         let p = packet(0, 5, Port::GEOGRAPHIC, 0);
         assert_eq!(
@@ -132,7 +129,10 @@ mod tests {
         let nt = table_with(&[]);
         let mut r = Geographic::new(Port::GEOGRAPHIC);
         let p = packet(0, 2, Port::GEOGRAPHIC, 0);
-        assert_eq!(r.decide(&ctx(2, &nt, &line_loc), &p), RouteDecision::Deliver);
+        assert_eq!(
+            r.decide(&ctx(2, &nt, &line_loc), &p),
+            RouteDecision::Deliver
+        );
     }
 
     #[test]
@@ -149,10 +149,7 @@ mod tests {
 
     #[test]
     fn blacklisted_neighbor_skipped() {
-        let mut nt = table_with(&[
-            (3, line_loc(3).unwrap()),
-            (4, line_loc(4).unwrap()),
-        ]);
+        let mut nt = table_with(&[(3, line_loc(3).unwrap()), (4, line_loc(4).unwrap())]);
         let mut r = Geographic::new(Port::GEOGRAPHIC);
         let p = packet(0, 5, Port::GEOGRAPHIC, 0);
         // Normally 4 wins (closest to 5).
@@ -219,6 +216,9 @@ mod tests {
     #[test]
     fn protocol_name_matches_paper_output() {
         // traceroute prints "Name of protocol: geographic forwarding".
-        assert_eq!(Geographic::new(Port::GEOGRAPHIC).name(), "geographic forwarding");
+        assert_eq!(
+            Geographic::new(Port::GEOGRAPHIC).name(),
+            "geographic forwarding"
+        );
     }
 }

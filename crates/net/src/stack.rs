@@ -27,6 +27,12 @@ pub struct StackConfig {
     pub beacon_jitter: SimDuration,
     /// Drop neighbors not heard for this long.
     pub neighbor_timeout: SimDuration,
+    /// When set, housekeeping blacklists confirmed neighbors whose
+    /// bidirectional quality degrades below this threshold (and clears
+    /// the bit once quality recovers 0.15 above it). `None` — the
+    /// default — leaves the blacklist purely operator-driven, which
+    /// keeps every pre-dynamics scenario bit-identical.
+    pub blacklist_below: Option<f64>,
 }
 
 impl Default for StackConfig {
@@ -36,6 +42,7 @@ impl Default for StackConfig {
             beacon_period: SimDuration::from_millis(2_000),
             beacon_jitter: SimDuration::from_millis(500),
             neighbor_timeout: SimDuration::from_secs(16),
+            blacklist_below: None,
         }
     }
 }
@@ -397,14 +404,37 @@ impl Stack {
         );
     }
 
-    /// Periodic housekeeping: expire silent neighbors.
+    /// Periodic housekeeping: expire silent neighbors, then (when
+    /// [`StackConfig::blacklist_below`] is set) blacklist the ones whose
+    /// link quality degraded under the threshold so routing repairs
+    /// around them before they go fully silent.
     pub fn housekeeping(&mut self, now: SimTime) {
         let before = self.neighbors.len();
         self.neighbors.expire(now, self.config.neighbor_timeout);
         let expired = before.saturating_sub(self.neighbors.len());
         if expired > 0 {
-            self.counters.add_id(CounterId::NetNeighborExpired, expired as u64);
+            self.counters
+                .add_id(CounterId::NetNeighborExpired, expired as u64);
         }
+        if let Some(threshold) = self.config.blacklist_below {
+            let (tripped, _recovered) = self
+                .neighbors
+                .blacklist_degraded(threshold, threshold + 0.15);
+            if tripped > 0 {
+                self.counters
+                    .add_id(CounterId::NetNeighborBlacklisted, tripped as u64);
+            }
+        }
+    }
+
+    /// Cold-reboot the stack's volatile state: the neighbor table and
+    /// sequence counters live in RAM and do not survive a power cycle.
+    /// Port subscriptions, routers, and the counter store (simulator
+    /// instrumentation, not mote RAM) are preserved.
+    pub fn on_reboot(&mut self) {
+        self.neighbors.clear();
+        self.next_seq = 0;
+        self.beacon_seq = 0;
     }
 }
 
@@ -559,7 +589,8 @@ mod tests {
     fn beacons_carry_gradient_name_and_links() {
         let mut s = stack(2);
         s.register_router(Box::new(crate::routing::CollectionTree::new(
-            Port::TREE, false,
+            Port::TREE,
+            false,
         )))
         .unwrap();
         add_line_neighbors(&mut s, &[1]);

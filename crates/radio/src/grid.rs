@@ -156,10 +156,14 @@ mod tests {
 
     #[test]
     fn infinite_range_visits_everyone() {
-        let positions: Vec<Position> =
-            (0..7).map(|i| Position::new(i as f64 * 100.0, 0.0)).collect();
+        let positions: Vec<Position> = (0..7)
+            .map(|i| Position::new(i as f64 * 100.0, 0.0))
+            .collect();
         let grid = SpatialGrid::new(&positions, f64::INFINITY);
-        assert_eq!(collect(&grid, Position::new(0.0, 0.0), f64::INFINITY).len(), 7);
+        assert_eq!(
+            collect(&grid, Position::new(0.0, 0.0), f64::INFINITY).len(),
+            7
+        );
         let bounded = SpatialGrid::new(&positions, 10.0);
         assert_eq!(
             collect(&bounded, Position::new(0.0, 0.0), f64::INFINITY).len(),
@@ -200,7 +204,10 @@ mod tests {
         assert_eq!(collect(&grid, Position::new(3.0, 3.0), 0.5), vec![0]);
         let same = vec![Position::new(1.0, 1.0); 5];
         let grid = SpatialGrid::new(&same, 2.0);
-        assert_eq!(collect(&grid, Position::new(1.0, 1.0), 0.1), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            collect(&grid, Position::new(1.0, 1.0), 0.1),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub mod units;
 
 pub use channel::Channel;
 pub use energy::EnergyLedger;
-pub use lqi::lqi_from_snr;
 pub use grid::SpatialGrid;
+pub use lqi::lqi_from_snr;
 pub use medium::{LinkOverride, Medium, Reachable, RxAssessment};
 pub use per::{ber_oqpsk, packet_error_rate};
 pub use power::PowerLevel;

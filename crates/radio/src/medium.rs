@@ -11,6 +11,7 @@
 //! aggregate interference power, so the medium itself stays stateless
 //! about time.
 
+use crate::channel::Channel;
 use crate::grid::SpatialGrid;
 use crate::lqi::lqi_from_snr;
 use crate::per::packet_error_rate;
@@ -112,6 +113,10 @@ pub struct Medium {
     /// Power above which CCA reports the channel busy.
     cca_threshold: Dbm,
     overrides: HashMap<(u16, u16), LinkOverride>,
+    /// Per-channel noise-floor offsets in dB (bursty interference
+    /// windows). Never consulted by the reachability cache: noise moves
+    /// SNR, not the sync threshold, so candidate lists stay valid.
+    channel_noise: HashMap<u8, f64>,
     /// Nodes whose radio is administratively dead (failure injection).
     dead: Vec<bool>,
     /// Memoized link gains + candidate lists; `None` runs every query
@@ -138,6 +143,7 @@ impl Medium {
             sensitivity: Dbm(-95.0),
             cca_threshold: Dbm(-77.0),
             overrides: HashMap::new(),
+            channel_noise: HashMap::new(),
             dead: vec![false; n],
             cache: None,
         };
@@ -255,11 +261,7 @@ impl Medium {
             return;
         }
         let link = self.qualify(from, to);
-        let list = &mut self
-            .cache
-            .as_mut()
-            .expect("checked above")
-            .candidates[from as usize];
+        let list = &mut self.cache.as_mut().expect("checked above").candidates[from as usize];
         let idx = list.partition_point(|c| c.to < to);
         let present = list.get(idx).is_some_and(|c| c.to == to);
         match (link, present) {
@@ -298,8 +300,12 @@ impl Medium {
             let cache = self.cache.as_mut().expect("checked above");
             cache.grid.move_node(id, old, pos);
             let mut affected: Vec<u16> = Vec::new();
-            cache.grid.for_each_in_square(old, cache.max_range, |s| affected.push(s));
-            cache.grid.for_each_in_square(pos, cache.max_range, |s| affected.push(s));
+            cache
+                .grid
+                .for_each_in_square(old, cache.max_range, |s| affected.push(s));
+            cache
+                .grid
+                .for_each_in_square(pos, cache.max_range, |s| affected.push(s));
             (cache.max_range, affected)
         };
         for &(a, b) in self.overrides.keys() {
@@ -447,6 +453,39 @@ impl Medium {
         interference_mw: f64,
         rng: &mut SimRng,
     ) -> Option<RxAssessment> {
+        self.assess_with_noise(from, to, power, frame_bytes, interference_mw, 0.0, rng)
+    }
+
+    /// [`Medium::assess`] with the channel's current noise-floor offset
+    /// applied (see [`Medium::set_channel_noise`]). With no offset set
+    /// this is bit-identical to `assess` — dead/blocked gating, RNG draw
+    /// order, and every float operation are shared.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assess_on(
+        &self,
+        from: u16,
+        to: u16,
+        power: PowerLevel,
+        frame_bytes: usize,
+        interference_mw: f64,
+        channel: Channel,
+        rng: &mut SimRng,
+    ) -> Option<RxAssessment> {
+        let extra = self.channel_noise_db(channel);
+        self.assess_with_noise(from, to, power, frame_bytes, interference_mw, extra, rng)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assess_with_noise(
+        &self,
+        from: u16,
+        to: u16,
+        power: PowerLevel,
+        frame_bytes: usize,
+        interference_mw: f64,
+        extra_noise_db: f64,
+        rng: &mut SimRng,
+    ) -> Option<RxAssessment> {
         if self.dead[from as usize] || self.dead[to as usize] {
             return None;
         }
@@ -454,14 +493,16 @@ impl Medium {
         if ov.blocked {
             return None;
         }
-        let rx_power = self
-            .propagation
-            .received_power_from_pl(power.dbm(), self.pl_db(from, to), rng)
-            - ov.extra_loss_db;
+        let rx_power =
+            self.propagation
+                .received_power_from_pl(power.dbm(), self.pl_db(from, to), rng)
+                - ov.extra_loss_db;
         if rx_power.0 < self.sensitivity.0 {
             return None; // below sync threshold: the radio never sees it
         }
-        let noise_mw = self.noise_floor.to_mw() + interference_mw;
+        // `x + 0.0` is exact for any finite noise floor, so the
+        // no-offset path reproduces the historical float sequence.
+        let noise_mw = Dbm(self.noise_floor.0 + extra_noise_db).to_mw() + interference_mw;
         let snr_db = rx_power.0 - Dbm::from_mw(noise_mw).0;
         let per = packet_error_rate(snr_db, frame_bytes);
         let delivered = !rng.chance(per);
@@ -472,6 +513,31 @@ impl Medium {
             rssi: rssi_register(rx_power),
             lqi: lqi_from_snr(snr_db, rng),
         })
+    }
+
+    /// Raise (or lower) the noise floor seen by receptions on `channel`
+    /// by `delta_db` — a bursty interference window while it stays set.
+    ///
+    /// Cache-invalidation contract: noise offsets alter SNR (and thus
+    /// PER/LQI) but never the sync-sensitivity qualification the
+    /// reachability cache memoizes, so no invalidation happens here and
+    /// none is needed. RNG draw counts are likewise unchanged — the
+    /// fading, PER, and LQI draws happen either way.
+    pub fn set_channel_noise(&mut self, channel: Channel, delta_db: f64) {
+        self.channel_noise.insert(channel.number(), delta_db);
+    }
+
+    /// Remove the noise-floor offset for `channel` (end of the burst).
+    pub fn clear_channel_noise(&mut self, channel: Channel) {
+        self.channel_noise.remove(&channel.number());
+    }
+
+    /// Current noise-floor offset for `channel` in dB (0.0 when unset).
+    pub fn channel_noise_db(&self, channel: Channel) -> f64 {
+        self.channel_noise
+            .get(&channel.number())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Received power (with fading) for CCA purposes: does `listener`
@@ -697,7 +763,11 @@ mod tests {
     fn assert_media_agree(cached: &Medium, brute: &Medium, seed: u64) {
         assert!(cached.cache_enabled() && !brute.cache_enabled());
         let n = 40u16;
-        for power in [PowerLevel::MIN, PowerLevel::new(17).unwrap(), PowerLevel::MAX] {
+        for power in [
+            PowerLevel::MIN,
+            PowerLevel::new(17).unwrap(),
+            PowerLevel::MAX,
+        ] {
             for from in 0..n {
                 let via_iter: Vec<u16> = cached.reachable(from, power).collect();
                 let brute_set: Vec<u16> = brute.reachable(from, power).collect();

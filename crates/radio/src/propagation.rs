@@ -78,8 +78,8 @@ impl LogDistance {
     /// distance `d` (distance term plus the frozen shadowing draw).
     pub fn mean_path_loss_db(&self, a: u16, b: u16, d: Meters) -> f64 {
         let dist = d.0.max(self.config.d0.0 * 0.1); // never below 0.1·d0
-        let distance_term = self.config.pl_d0_db
-            + 10.0 * self.config.exponent * (dist / self.config.d0.0).log10();
+        let distance_term =
+            self.config.pl_d0_db + 10.0 * self.config.exponent * (dist / self.config.d0.0).log10();
         distance_term + self.link_shadowing_db(a, b)
     }
 
@@ -110,8 +110,8 @@ impl LogDistance {
         ceiling_db: f64,
     ) -> Option<f64> {
         let dist = d.0.max(self.config.d0.0 * 0.1); // never below 0.1·d0
-        let distance_term = self.config.pl_d0_db
-            + 10.0 * self.config.exponent * (dist / self.config.d0.0).log10();
+        let distance_term =
+            self.config.pl_d0_db + 10.0 * self.config.exponent * (dist / self.config.d0.0).log10();
         let sigma = self.config.shadow_sigma_db;
         let label = 0x5348_4144_0000_0000 | ((a as u64) << 16) | b as u64;
         let mut rng = SimRng::from_seed_u64(derive_seed(self.seed, label));

@@ -12,16 +12,30 @@ use proptest::prelude::*;
 /// One randomized mutation of the medium's link state.
 #[derive(Debug, Clone)]
 enum Mutation {
-    Move { id: u16, x: f64, y: f64 },
-    Dead { id: u16, dead: bool },
-    Override { from: u16, to: u16, blocked: bool, extra_loss_db: f64 },
-    ClearOverride { from: u16, to: u16 },
+    Move {
+        id: u16,
+        x: f64,
+        y: f64,
+    },
+    Dead {
+        id: u16,
+        dead: bool,
+    },
+    Override {
+        from: u16,
+        to: u16,
+        blocked: bool,
+        extra_loss_db: f64,
+    },
+    ClearOverride {
+        from: u16,
+        to: u16,
+    },
 }
 
 fn mutation_strategy(n: u16) -> impl Strategy<Value = Mutation> {
     prop_oneof![
-        (0..n, -50.0f64..200.0, -50.0f64..200.0)
-            .prop_map(|(id, x, y)| Mutation::Move { id, x, y }),
+        (0..n, -50.0f64..200.0, -50.0f64..200.0).prop_map(|(id, x, y)| Mutation::Move { id, x, y }),
         (0..n, any::<bool>()).prop_map(|(id, dead)| Mutation::Dead { id, dead }),
         (0..n, 0..n, any::<bool>(), -45.0f64..60.0).prop_map(
             |(from, to, blocked, extra_loss_db)| Mutation::Override {
@@ -39,7 +53,12 @@ fn apply(m: &Mutation, medium: &mut Medium) {
     match *m {
         Mutation::Move { id, x, y } => medium.set_position(id, Position::new(x, y)),
         Mutation::Dead { id, dead } => medium.set_dead(id, dead),
-        Mutation::Override { from, to, blocked, extra_loss_db } => medium.set_override(
+        Mutation::Override {
+            from,
+            to,
+            blocked,
+            extra_loss_db,
+        } => medium.set_override(
             from,
             to,
             LinkOverride {

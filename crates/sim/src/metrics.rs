@@ -25,6 +25,16 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum CounterId {
+    /// `dyn.channel_noise`
+    DynChannelNoise,
+    /// `dyn.link_override`
+    DynLinkOverride,
+    /// `dyn.node_down`
+    DynNodeDown,
+    /// `dyn.node_up`
+    DynNodeUp,
+    /// `dyn.reconfig`
+    DynReconfig,
     /// `mac.ack_timeout`
     MacAckTimeout,
     /// `mac.anomaly`
@@ -61,6 +71,8 @@ pub enum CounterId {
     NetDropTtlExpired,
     /// `net.forward`
     NetForward,
+    /// `net.neighbor_blacklisted`
+    NetNeighborBlacklisted,
     /// `net.neighbor_expired`
     NetNeighborExpired,
     /// `net.neighbor_new`
@@ -101,10 +113,15 @@ pub enum CounterId {
 
 impl CounterId {
     /// Number of interned counters.
-    pub const COUNT: usize = 36;
+    pub const COUNT: usize = 42;
 
     /// Every interned counter, in lexicographic name order.
     pub const ALL: [CounterId; Self::COUNT] = [
+        CounterId::DynChannelNoise,
+        CounterId::DynLinkOverride,
+        CounterId::DynNodeDown,
+        CounterId::DynNodeUp,
+        CounterId::DynReconfig,
         CounterId::MacAckTimeout,
         CounterId::MacAnomaly,
         CounterId::MacCcaBusy,
@@ -123,6 +140,7 @@ impl CounterId {
         CounterId::NetDropNoRoute,
         CounterId::NetDropTtlExpired,
         CounterId::NetForward,
+        CounterId::NetNeighborBlacklisted,
         CounterId::NetNeighborExpired,
         CounterId::NetNeighborNew,
         CounterId::NetOriginate,
@@ -146,6 +164,11 @@ impl CounterId {
     /// The report-time name of this counter.
     pub const fn name(self) -> &'static str {
         match self {
+            CounterId::DynChannelNoise => "dyn.channel_noise",
+            CounterId::DynLinkOverride => "dyn.link_override",
+            CounterId::DynNodeDown => "dyn.node_down",
+            CounterId::DynNodeUp => "dyn.node_up",
+            CounterId::DynReconfig => "dyn.reconfig",
             CounterId::MacAckTimeout => "mac.ack_timeout",
             CounterId::MacAnomaly => "mac.anomaly",
             CounterId::MacCcaBusy => "mac.cca_busy",
@@ -164,6 +187,7 @@ impl CounterId {
             CounterId::NetDropNoRoute => "net.drop.NoRoute",
             CounterId::NetDropTtlExpired => "net.drop.TtlExpired",
             CounterId::NetForward => "net.forward",
+            CounterId::NetNeighborBlacklisted => "net.neighbor_blacklisted",
             CounterId::NetNeighborExpired => "net.neighbor_expired",
             CounterId::NetNeighborNew => "net.neighbor_new",
             CounterId::NetOriginate => "net.originate",
@@ -188,6 +212,11 @@ impl CounterId {
     /// Resolve a name to its interned id, if one exists.
     pub fn from_name(name: &str) -> Option<CounterId> {
         Some(match name {
+            "dyn.channel_noise" => CounterId::DynChannelNoise,
+            "dyn.link_override" => CounterId::DynLinkOverride,
+            "dyn.node_down" => CounterId::DynNodeDown,
+            "dyn.node_up" => CounterId::DynNodeUp,
+            "dyn.reconfig" => CounterId::DynReconfig,
             "mac.ack_timeout" => CounterId::MacAckTimeout,
             "mac.anomaly" => CounterId::MacAnomaly,
             "mac.cca_busy" => CounterId::MacCcaBusy,
@@ -206,6 +235,7 @@ impl CounterId {
             "net.drop.NoRoute" => CounterId::NetDropNoRoute,
             "net.drop.TtlExpired" => CounterId::NetDropTtlExpired,
             "net.forward" => CounterId::NetForward,
+            "net.neighbor_blacklisted" => CounterId::NetNeighborBlacklisted,
             "net.neighbor_expired" => CounterId::NetNeighborExpired,
             "net.neighbor_new" => CounterId::NetNeighborNew,
             "net.originate" => CounterId::NetOriginate,
@@ -786,7 +816,12 @@ mod tests {
         }
         // ALL must be sorted by name so merged iteration stays sorted.
         for w in CounterId::ALL.windows(2) {
-            assert!(w[0].name() < w[1].name(), "{} !< {}", w[0].name(), w[1].name());
+            assert!(
+                w[0].name() < w[1].name(),
+                "{} !< {}",
+                w[0].name(),
+                w[1].name()
+            );
         }
         assert_eq!(CounterId::from_name("no.such.counter"), None);
     }
@@ -802,7 +837,13 @@ mod tests {
         let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
         assert_eq!(
             names,
-            vec!["cmd.ping", "mac.delivered", "mac.extra", "mac.submit", "zzz.last"]
+            vec![
+                "cmd.ping",
+                "mac.delivered",
+                "mac.extra",
+                "mac.submit",
+                "zzz.last"
+            ]
         );
         assert_eq!(c.len(), 5);
     }

@@ -184,14 +184,15 @@ mod tests {
         let mut x: u64 = 0x9e3779b97f4a7c15;
         let mut expected: Vec<(SimTime, usize)> = Vec::new();
         for i in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let t = SimTime::from_nanos(x % 64); // heavy collisions on purpose
             q.push(t, i);
             expected.push((t, i));
         }
         expected.sort_by_key(|&(t, i)| (t, i)); // stable order == (time, push index)
-        let got: Vec<(SimTime, usize)> =
-            std::iter::from_fn(|| q.pop()).collect();
+        let got: Vec<(SimTime, usize)> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(got, expected);
         let _ = SimDuration::ZERO;
     }

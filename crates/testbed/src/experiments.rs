@@ -29,7 +29,12 @@ fn corridor_traceroute(seed: u64, power_level: Option<u8>) -> (Scenario, TraceOu
         s.net.run_for(SimDuration::from_secs(10));
     }
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
-    let exec = s.ws.exec(&mut s.net, CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC)).unwrap();
+    let exec =
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC),
+        )
+        .unwrap();
     let CommandResult::Traceroute(t) = exec.result else {
         panic!("traceroute failed: {:?}", exec.result);
     };
@@ -84,8 +89,11 @@ fn fig7_point(seed: u64, hops: u8) -> Fig7Row {
     let mut s = Scenario::build(ScenarioConfig::new(topo, seed));
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
     s.reset_counters();
-    let exec = s
-        .ws.exec(&mut s.net, CommandRequest::traceroute(hops as u16, 32, Port::GEOGRAPHIC))
+    let exec =
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::traceroute(hops as u16, 32, Port::GEOGRAPHIC),
+        )
         .unwrap();
     assert!(
         matches!(exec.result, CommandResult::Traceroute(_)),
@@ -176,7 +184,9 @@ pub fn text_ping_sample(seed: u64) -> TpingRow {
     let cfg = ScenarioConfig::new(Topology::Line { n: 2, spacing: 3.0 }, seed);
     let mut s = Scenario::build(cfg);
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
-    let exec = s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+    let exec =
+        s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None))
+            .unwrap();
     let CommandResult::Ping(p) = exec.result else {
         panic!("ping failed: {:?}", exec.result);
     };
@@ -303,7 +313,9 @@ pub fn text_onehop_overhead(seed: u64) -> TovhRow {
     let mut s = Scenario::build(cfg);
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
     s.reset_counters();
-    let exec = s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+    let exec =
+        s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None))
+            .unwrap();
     assert!(matches!(exec.result, CommandResult::Ping(_)));
     TovhRow {
         command: "ping (one hop)".into(),
@@ -329,8 +341,11 @@ pub fn ablation_traceroute_vs_ping(seed: u64) -> Vec<AblationRow> {
         let mut s = Scenario::build(ScenarioConfig::new(topo.clone(), seed));
         s.ws.cd(&s.net, "192.168.0.1").unwrap();
         s.reset_counters();
-        s.ws.exec(&mut s.net, CommandRequest::traceroute(hops as u16, 32, Port::GEOGRAPHIC))
-            .unwrap();
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::traceroute(hops as u16, 32, Port::GEOGRAPHIC),
+        )
+        .unwrap();
         rows.push(AblationRow {
             arm: format!("traceroute hops={hops}"),
             metric: "data_packets".into(),
@@ -345,8 +360,11 @@ pub fn ablation_traceroute_vs_ping(seed: u64) -> Vec<AblationRow> {
         let mut s = Scenario::build(ScenarioConfig::new(topo, seed));
         s.ws.cd(&s.net, "192.168.0.1").unwrap();
         s.reset_counters();
-        s.ws.exec(&mut s.net, CommandRequest::ping(hops as u16, 1, 16, Some(Port::GEOGRAPHIC)))
-            .unwrap();
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::ping(hops as u16, 1, 16, Some(Port::GEOGRAPHIC)),
+        )
+        .unwrap();
         rows.push(AblationRow {
             arm: format!("multihop-ping hops={hops}"),
             metric: "data_packets".into(),
@@ -370,7 +388,11 @@ pub fn ablation_batch_adaptive(seed: u64) -> Vec<AblationRow> {
     let chunks: Vec<Vec<u8>> = (0..24).map(|i| vec![i as u8; 8]).collect();
     let mut rows = Vec::new();
     for loss in [0.0f64, 0.15, 0.3] {
-        for (arm, fixed) in [("adaptive", None), ("fixed-1", Some(1)), ("fixed-4", Some(4))] {
+        for (arm, fixed) in [
+            ("adaptive", None),
+            ("fixed-1", Some(1)),
+            ("fixed-4", Some(4)),
+        ] {
             let mut rng = SimRng::stream(seed, (loss * 100.0) as u64 + fixed.unwrap_or(9) as u64);
             let mut tx = BatchSender::new(1, chunks.clone());
             if let Some(k) = fixed {
@@ -498,11 +520,7 @@ pub fn ablation_response_backoff(seed: u64, responders: usize) -> Vec<AblationRo
                 6.0 * angle.sin(),
             ));
         }
-        let medium = lv_radio::Medium::new(
-            positions,
-            lv_radio::PropagationConfig::default(),
-            seed,
-        );
+        let medium = lv_radio::Medium::new(positions, lv_radio::PropagationConfig::default(), seed);
         let mut net = Network::new(medium, seed ^ jitter as u64);
         let seen = Rc::new(RefCell::new(0));
         net.spawn_process(0, Box::new(Collector { seen: seen.clone() }), vec![])
@@ -561,7 +579,10 @@ pub fn ablation_neighbor_table() -> Vec<AblationRow> {
 /// extra bytes fly. Quantifies the padding mechanism's cost.
 pub fn ablation_padding(seed: u64) -> Vec<AblationRow> {
     let mut rows = Vec::new();
-    for (arm, length) in [("16B probe (padding room)", 16u8), ("64B probe (no room)", 64)] {
+    for (arm, length) in [
+        ("16B probe (padding room)", 16u8),
+        ("64B probe (no room)", 64),
+    ] {
         let topo = Topology::Corridor {
             n: 5,
             spacing: 5.0,
@@ -570,17 +591,16 @@ pub fn ablation_padding(seed: u64) -> Vec<AblationRow> {
         let mut s = Scenario::build(ScenarioConfig::new(topo, seed));
         s.ws.cd(&s.net, "192.168.0.1").unwrap();
         s.reset_counters();
-        let exec = s
-            .ws.exec(&mut s.net, CommandRequest::ping(4, 1, length, Some(Port::GEOGRAPHIC)))
+        let exec =
+            s.ws.exec(
+                &mut s.net,
+                CommandRequest::ping(4, 1, length, Some(Port::GEOGRAPHIC)),
+            )
             .unwrap();
         // Forward-path entries only: the probe's padding space is what
         // the arm varies (the reply packet has its own, separate room).
         let entries = match &exec.result {
-            CommandResult::Ping(p) => p
-                .rounds
-                .first()
-                .map(|r| r.fwd_hops.len())
-                .unwrap_or(0),
+            CommandResult::Ping(p) => p.rounds.first().map(|r| r.fwd_hops.len()).unwrap_or(0),
             _ => 0,
         };
         rows.push(AblationRow {
@@ -612,8 +632,7 @@ pub fn ablation_beacon_rate(seed: u64) -> Vec<AblationRow> {
         let medium = topo.medium(lv_radio::PropagationConfig::default(), seed);
         let mut net = Network::new(medium, seed);
         for i in 0..9u16 {
-            net.node_mut(i).stack.config_mut().beacon_period =
-                SimDuration::from_millis(period_ms);
+            net.node_mut(i).stack.config_mut().beacon_period = SimDuration::from_millis(period_ms);
         }
         // Sample until every node's estimate of every corridor neighbor
         // has CONVERGED — inbound and outbound both confirmed > 0.9
@@ -675,13 +694,22 @@ pub fn ablation_energy(seed: u64) -> Vec<AblationRow> {
         active_sum(&s) - before
     };
     let ping_1hop = run(&|s| {
-        s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+        s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None))
+            .unwrap();
     });
     let ping_8hop = run(&|s| {
-        s.ws.exec(&mut s.net, CommandRequest::ping(8, 1, 16, Some(Port::GEOGRAPHIC))).unwrap();
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::ping(8, 1, 16, Some(Port::GEOGRAPHIC)),
+        )
+        .unwrap();
     });
     let traceroute_8hop = run(&|s| {
-        s.ws.exec(&mut s.net, CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC)).unwrap();
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC),
+        )
+        .unwrap();
     });
     let beacons_per_min = {
         let mut s = Scenario::build(ScenarioConfig::new(topo(), seed));
@@ -690,10 +718,8 @@ pub fn ablation_energy(seed: u64) -> Vec<AblationRow> {
         active_sum(&s) - before
     };
     // Idle listening for the whole 9-node deployment over one minute.
-    let listen_per_min = 9.0
-        * lv_radio::energy::RX_CURRENT_A
-        * lv_radio::energy::SUPPLY_VOLTS
-        * 60.0;
+    let listen_per_min =
+        9.0 * lv_radio::energy::RX_CURRENT_A * lv_radio::energy::SUPPLY_VOLTS * 60.0;
     for (arm, joules) in [
         ("ping 1-hop", ping_1hop),
         ("multihop-ping 8-hop", ping_8hop),
@@ -916,11 +942,15 @@ pub fn failure_sweep(runner: &TrialRunner, plans: &[FailurePlan]) -> Vec<Failure
                     s.net.run_for(SimDuration::from_secs(5));
                 }
                 s.ws.cd(&s.net, "192.168.0.1").unwrap();
-                let exec = s.ws.exec(&mut s.net, CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC)).unwrap();
+                let exec =
+                    s.ws.exec(
+                        &mut s.net,
+                        CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC),
+                    )
+                    .unwrap();
                 match exec.result {
                     CommandResult::Traceroute(t) => {
-                        let covered =
-                            t.hops.iter().map(|h| h.record.hop_index).max().unwrap_or(0);
+                        let covered = t.hops.iter().map(|h| h.record.hop_index).max().unwrap_or(0);
                         let last_ms = t
                             .hops
                             .iter()
@@ -940,15 +970,9 @@ pub fn failure_sweep(runner: &TrialRunner, plans: &[FailurePlan]) -> Vec<Failure
                 fraction: plan.fraction,
                 trials: trials as u64,
                 faulted: plan.affected_count(trials) as u64,
-                reached: crate::stats::aggregate(
-                    samples.iter().map(|&(r, _, _)| f64::from(r)),
-                ),
-                hops_covered: crate::stats::aggregate(
-                    samples.iter().map(|&(_, h, _)| h as f64),
-                ),
-                last_report_ms: crate::stats::aggregate(
-                    samples.iter().map(|&(_, _, ms)| ms),
-                ),
+                reached: crate::stats::aggregate(samples.iter().map(|&(r, _, _)| f64::from(r))),
+                hops_covered: crate::stats::aggregate(samples.iter().map(|&(_, h, _)| h as f64)),
+                last_report_ms: crate::stats::aggregate(samples.iter().map(|&(_, _, ms)| ms)),
             }
         })
         .collect()
@@ -1043,8 +1067,11 @@ pub fn scale_point(nodes: usize, seed: u64, cached: bool) -> ScaleRow {
         m.set_cache_enabled(cached);
         let mut net = Network::new(m, trial_seed);
         for i in 0..net.node_count() as u16 {
-            net.install_router(i, Box::new(lv_net::routing::Geographic::new(Port::GEOGRAPHIC)))
-                .expect("port 10 free");
+            net.install_router(
+                i,
+                Box::new(lv_net::routing::Geographic::new(Port::GEOGRAPHIC)),
+            )
+            .expect("port 10 free");
             net.node_mut(i).stack.config_mut().beacon_period = SimDuration::from_millis(500);
         }
         install_suite(&mut net);
@@ -1072,7 +1099,10 @@ pub fn scale_point(nodes: usize, seed: u64, cached: bool) -> ScaleRow {
                 if t == 0 {
                     continue;
                 }
-                let _ = ws.exec(&mut net, CommandRequest::traceroute(t, 32, Port::GEOGRAPHIC));
+                let _ = ws.exec(
+                    &mut net,
+                    CommandRequest::traceroute(t, 32, Port::GEOGRAPHIC),
+                );
             }
         }
         net.run_for(SimDuration::from_secs(2));
@@ -1112,6 +1142,201 @@ pub fn scale_sweep(sizes: &[usize], seed: u64) -> Vec<ScaleRow> {
         out.push(brute);
     }
     out
+}
+
+// ----------------------------------------------------------------------
+// Determinism digests (the CI regression gate)
+// ----------------------------------------------------------------------
+
+/// FNV-1a 64 over `bytes`. `DefaultHasher` is only documented as stable
+/// within one process; the golden digests checked into the repo must
+/// survive toolchain upgrades, so the gate uses a fixed algorithm.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a digest of a network's observable outcome: every global
+/// counter `(name, value)` pair plus the dispatched-event count. Two
+/// runs with equal digests dispatched the same number of events and
+/// moved every counter identically — the bit-identity handle the
+/// dynamics replay tests and the CI gate both use.
+pub fn counters_digest(net: &Network) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (name, value) in net.counters.iter() {
+        step(name.as_bytes());
+        step(&value.to_le_bytes());
+    }
+    step(&net.events_dispatched().to_le_bytes());
+    format!("{h:016x}")
+}
+
+/// Golden determinism digests for the headline figures: each digest is
+/// FNV-1a over the figure's serialized JSON rows, so any behavioural
+/// drift — float order, RNG draw count, counter movement — changes it.
+/// `figures --digests` prints these; CI compares them against
+/// `goldens/figure_digests.json`.
+pub fn figure_digests(seed: u64) -> Vec<DigestRow> {
+    let digest_of = |json: String| format!("{:016x}", fnv1a64(json.as_bytes()));
+    vec![
+        DigestRow {
+            figure: "fig5".to_owned(),
+            digest: digest_of(to_json_lines(&fig5_traceroute_delay(seed))),
+        },
+        DigestRow {
+            figure: "fig6".to_owned(),
+            digest: digest_of(to_json_lines(&fig6_rssi_vs_power(seed))),
+        },
+        DigestRow {
+            figure: "fig7".to_owned(),
+            digest: digest_of(to_json_lines(&fig7_overhead(seed))),
+        },
+    ]
+}
+
+// ----------------------------------------------------------------------
+// Dynamics soak (`figures --dynamics`)
+// ----------------------------------------------------------------------
+
+/// The hop the soak degrades: the corridor link between nodes 4 and 5,
+/// which traceroute reports as hop index 5 (probe leg 4 → 5).
+const SOAK_RAMP_A: u16 = 4;
+const SOAK_RAMP_B: u16 = 5;
+const SOAK_HOP: u8 = 5;
+
+/// The degradation-ramp soak: an 8-hop corridor whose mid-path link
+/// `4 ↔ 5` loses 5 dB every 10 s (RADIUS-style gradual degradation, 12
+/// steps to +60 dB), with degradation blacklisting armed on every node.
+/// A workstation at one end traceroutes and pings the far end in a
+/// loop. The expected arc — asserted by `figures --dynamics` and the
+/// regression test — is:
+///
+/// 1. **detect**: traceroute's per-hop LQI/RSSI on hop 5 visibly drops
+///    while end-to-end ping still succeeds (the paper's §IV story:
+///    path profiling localizes the weakening hop *before* failure);
+/// 2. **fail**: the ramp finishes severing the link and ping dies,
+///    while neighbor eviction / degradation blacklisting fire;
+/// 3. **recover**: the plan repairs the link, beacons rebuild the
+///    neighbor tables, and ping succeeds again.
+pub fn dynamics_soak(seed: u64) -> DynamicsSoakReport {
+    use crate::dynamics::DynamicsPlan;
+
+    let cfg = ScenarioConfig::new(Topology::eight_hop_corridor(), seed);
+    let mut s = Scenario::build(cfg);
+    for i in 0..s.net.node_count() as u16 {
+        s.net.node_mut(i).stack.config_mut().blacklist_below = Some(0.35);
+    }
+    let t0 = s.net.now();
+    let ramp_start = t0 + SimDuration::from_secs(20);
+    let repair_at = t0 + SimDuration::from_secs(190);
+    let plan = DynamicsPlan::new()
+        .link_ramp_symmetric(
+            SOAK_RAMP_A,
+            SOAK_RAMP_B,
+            ramp_start,
+            SimDuration::from_secs(10),
+            12,
+            5.0,
+        )
+        .link_repair(SOAK_RAMP_A, SOAK_RAMP_B, repair_at);
+    plan.schedule(&mut s.net);
+
+    s.ws.cd(&s.net, "192.168.0.1").expect("bridge exists");
+    let horizon = t0 + SimDuration::from_secs(260);
+    let mut rounds: Vec<DynamicsSoakRow> = Vec::new();
+    let mut baseline_rssi: Option<i8> = None;
+    let (mut detect, mut fail, mut recover) = (None, None, None);
+    while s.net.now() < horizon {
+        let t_ms = s.net.now().as_millis_f64();
+        let trace_exec = s.ws.exec(
+            &mut s.net,
+            CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC),
+        );
+        let (trace_reached, hop) = match trace_exec.map(|e| e.result) {
+            Ok(CommandResult::Traceroute(t)) => {
+                let hop = t
+                    .hops
+                    .iter()
+                    .find(|h| h.record.hop_index == SOAK_HOP && !h.record.probe_lost)
+                    .map(|h| (h.record.lqi_fwd, h.record.rssi_fwd));
+                (t.reached, hop)
+            }
+            _ => (false, None),
+        };
+        let ping_exec = s.ws.exec(
+            &mut s.net,
+            CommandRequest::ping(8, 1, 32, Some(Port::GEOGRAPHIC)),
+        );
+        let ping_ok = matches!(
+            ping_exec.map(|e| e.result),
+            Ok(CommandResult::Ping(p)) if p.received > 0
+        );
+        let (hop_lqi, hop_rssi) = hop.unwrap_or((0, 0));
+        // First round with a visible hop report sets the RSSI baseline.
+        if hop.is_some() && baseline_rssi.is_none() {
+            baseline_rssi = Some(hop_rssi);
+        }
+        let now = s.net.now();
+        let degraded_visible = match (hop, baseline_rssi) {
+            // The hop reported in, audibly weaker than the baseline.
+            (Some((_, rssi)), Some(base)) => i16::from(rssi) <= i16::from(base) - 10,
+            // The hop went silent mid-ramp while the path still exists.
+            (None, Some(_)) => now >= ramp_start,
+            _ => false,
+        };
+        if detect.is_none() && degraded_visible && ping_ok {
+            detect = Some(t_ms);
+        }
+        if fail.is_none() && !ping_ok && now >= ramp_start {
+            fail = Some(t_ms);
+        }
+        if recover.is_none() && ping_ok && now >= repair_at {
+            recover = Some(t_ms);
+        }
+        // Neighbor-churn counters live in each node's stack (they are
+        // mote-side events), so sum them across the deployment.
+        let sum_nodes = |name: &str| -> u64 {
+            (0..s.net.node_count() as u16)
+                .map(|i| s.net.node(i).stack.counters().get(name))
+                .sum()
+        };
+        rounds.push(DynamicsSoakRow {
+            t_ms,
+            trace_reached,
+            hop_seen: hop.is_some(),
+            hop_lqi,
+            hop_rssi,
+            ping_ok,
+            evictions: sum_nodes("net.neighbor_expired"),
+            blacklists: sum_nodes("net.neighbor_blacklisted"),
+        });
+        s.net.run_for(SimDuration::from_secs(2));
+    }
+    let sum_nodes = |name: &str| -> u64 {
+        (0..s.net.node_count() as u16)
+            .map(|i| s.net.node(i).stack.counters().get(name))
+            .sum()
+    };
+    DynamicsSoakReport {
+        detect_ms: detect.unwrap_or(-1.0),
+        ping_fail_ms: fail.unwrap_or(-1.0),
+        recover_ms: recover.unwrap_or(-1.0),
+        evictions: sum_nodes("net.neighbor_expired"),
+        blacklists: sum_nodes("net.neighbor_blacklisted"),
+        dyn_trace_events: s.net.counters.sum_prefix("dyn."),
+        digest: counters_digest(&s.net),
+        rounds,
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,9 @@
 //!   routers + LiteView suite + workstation + beacon warm-up.
 //! * [`failures`] — deployment-phase failure injection: dead nodes,
 //!   broken and asymmetric links, attenuation, node moves.
+//! * [`dynamics`] — the time-varying half of failure injection: seeded
+//!   schedules of link-degradation ramps, interference bursts, node
+//!   churn, and reconfiguration, replayed bit-identically per seed.
 //! * [`experiments`] — the drivers that regenerate every figure and
 //!   in-text number of Section V (see `DESIGN.md` §4 for the index).
 //! * [`runner`] — the parallel multi-trial engine: deterministic seed
@@ -22,6 +25,7 @@
 //! * [`results`] — serializable row types the `figures` harness prints.
 //! * [`map`] — ASCII deployment maps for the interactive shell.
 
+pub mod dynamics;
 pub mod experiments;
 pub mod failures;
 pub mod map;
@@ -31,6 +35,7 @@ pub mod scenario;
 pub mod stats;
 pub mod topology;
 
+pub use dynamics::{DynamicsEvent, DynamicsPlan};
 pub use runner::{FailureMode, FailurePlan, TrialCtx, TrialRunner};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use stats::AggregateStats;

@@ -129,6 +129,65 @@ pub struct AblationRow {
     pub value: f64,
 }
 
+/// One figure's golden determinism digest (the CI regression gate
+/// compares these against `goldens/figure_digests.json`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DigestRow {
+    /// Which figure the digest covers (`fig5`, `fig6`, `fig7`).
+    pub figure: String,
+    /// FNV-1a 64 over the figure's serialized rows (stable across
+    /// platforms and Rust versions, unlike `DefaultHasher`).
+    pub digest: String,
+}
+
+/// One probe round of the `figures --dynamics` degradation soak.
+#[derive(Debug, Clone, Serialize)]
+pub struct DynamicsSoakRow {
+    /// Virtual time of the round's traceroute issue, ms.
+    pub t_ms: f64,
+    /// Whether the traceroute reached the far end of the corridor.
+    pub trace_reached: bool,
+    /// Whether the injected hop's probe report came back this round.
+    pub hop_seen: bool,
+    /// Forward LQI on the injected hop (0 when `hop_seen` is false).
+    pub hop_lqi: u8,
+    /// Forward RSSI on the injected hop (0 when `hop_seen` is false).
+    pub hop_rssi: i8,
+    /// Whether the end-to-end ping got at least one reply.
+    pub ping_ok: bool,
+    /// Cumulative `net.neighbor_expired` at the end of the round.
+    pub evictions: u64,
+    /// Cumulative `net.neighbor_blacklisted` at the end of the round.
+    pub blacklists: u64,
+}
+
+/// Outcome of the degradation-ramp soak: the acceptance story is
+/// `detect_ms < ping_fail_ms < recover_ms` — traceroute pinpoints the
+/// weakening hop *before* the end-to-end path dies, and route/neighbor
+/// repair brings the path back after the obstacle clears.
+#[derive(Debug, Clone, Serialize)]
+pub struct DynamicsSoakReport {
+    /// Per-round observations.
+    pub rounds: Vec<DynamicsSoakRow>,
+    /// First round (virtual ms) where the injected hop showed degraded
+    /// RSSI/loss while the end-to-end ping still succeeded. -1 if never.
+    pub detect_ms: f64,
+    /// First round (virtual ms) where the end-to-end ping failed.
+    /// -1 if never.
+    pub ping_fail_ms: f64,
+    /// First round after the repair where the ping succeeded again.
+    /// -1 if never.
+    pub recover_ms: f64,
+    /// Total stale-neighbor evictions over the soak.
+    pub evictions: u64,
+    /// Total degradation blacklistings over the soak.
+    pub blacklists: u64,
+    /// `dyn.*` mutations visible in the flight-recorder trace.
+    pub dyn_trace_events: u64,
+    /// Counter digest of the whole run (replay determinism handle).
+    pub digest: String,
+}
+
 /// Pretty-print any serializable row set as indented JSON lines.
 pub fn to_json_lines<T: Serialize>(rows: &[T]) -> String {
     rows.iter()

@@ -279,9 +279,7 @@ mod tests {
         for workers in [1, 2, 4] {
             let out = TrialRunner::new(1, 16).workers(workers).run(|t| {
                 // Stagger completion so later trials often finish first.
-                std::thread::sleep(std::time::Duration::from_millis(
-                    (16 - t.index as u64) % 5,
-                ));
+                std::thread::sleep(std::time::Duration::from_millis((16 - t.index as u64) % 5));
                 (t.index, t.seed)
             });
             for (i, &(index, seed)) in out.iter().enumerate() {

@@ -145,7 +145,9 @@ mod tests {
         let cfg = ScenarioConfig::new(Topology::Line { n: 2, spacing: 5.0 }, 5);
         let mut s = Scenario::build(cfg);
         s.ws.cd(&s.net, "192.168.0.1").unwrap();
-        let exec = s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+        let exec =
+            s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None))
+                .unwrap();
         let CommandResult::Ping(p) = exec.result else {
             panic!()
         };

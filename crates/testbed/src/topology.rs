@@ -82,9 +82,7 @@ impl Topology {
                 cols,
                 spacing,
             } => (0..rows * cols)
-                .map(|i| {
-                    Position::new((i % cols) as f64 * spacing, (i / cols) as f64 * spacing)
-                })
+                .map(|i| Position::new((i % cols) as f64 * spacing, (i / cols) as f64 * spacing))
                 .collect(),
             Topology::RandomDisk { n, side } => {
                 let mut rng = SimRng::stream(seed, 0x544F_504F);
@@ -98,7 +96,10 @@ impl Topology {
     /// Build the medium: positions plus any structural link overrides.
     pub fn medium(&self, config: PropagationConfig, seed: u64) -> Medium {
         let mut medium = Medium::new(self.positions(seed), config, seed);
-        if let Topology::Corridor { n, wall_loss_db, .. } = *self {
+        if let Topology::Corridor {
+            n, wall_loss_db, ..
+        } = *self
+        {
             for i in 0..n as u16 {
                 for j in 0..n as u16 {
                     if i != j && (i as i32 - j as i32).abs() >= 2 {
@@ -169,7 +170,10 @@ mod tests {
 
     #[test]
     fn line_positions() {
-        let t = Topology::Line { n: 4, spacing: 10.0 };
+        let t = Topology::Line {
+            n: 4,
+            spacing: 10.0,
+        };
         let p = t.positions(1);
         assert_eq!(p.len(), 4);
         assert!((p[3].x - 30.0).abs() < 1e-12);
@@ -208,8 +212,11 @@ mod tests {
     fn corridor_pins_hop_count_at_any_power() {
         let t = Topology::eight_hop_corridor();
         let medium = t.medium(PropagationConfig::default(), 3);
-        for power in [PowerLevel::MAX, PowerLevel::new(25).unwrap(), PowerLevel::new(10).unwrap()]
-        {
+        for power in [
+            PowerLevel::MAX,
+            PowerLevel::new(25).unwrap(),
+            PowerLevel::new(10).unwrap(),
+        ] {
             let adj = adjacency(&medium, power);
             assert_eq!(
                 hop_distance(&adj, 0, 8),

@@ -21,9 +21,11 @@ fn corridor(n: usize, seed: u64) -> Scenario {
 /// Traceroute the far end of `s`'s corridor; `true` iff it reports the
 /// destination reached.
 fn trace_reaches(s: &mut Scenario, dst: u16) -> bool {
-    let exec = s
-        .ws
-        .exec(&mut s.net, CommandRequest::traceroute(dst, 32, Port::GEOGRAPHIC))
+    let exec =
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::traceroute(dst, 32, Port::GEOGRAPHIC),
+        )
         .unwrap();
     match exec.result {
         CommandResult::Traceroute(t) => t.reached,
@@ -33,9 +35,8 @@ fn trace_reaches(s: &mut Scenario, dst: u16) -> bool {
 
 /// One multi-hop ping; how many replies came back.
 fn ping_received(s: &mut Scenario, dst: u16) -> u8 {
-    let exec = s
-        .ws
-        .exec(
+    let exec =
+        s.ws.exec(
             &mut s.net,
             CommandRequest::ping(dst, 1, 32, Some(Port::GEOGRAPHIC)),
         )
@@ -90,10 +91,9 @@ fn attenuation_shows_up_in_the_ping_rssi_report() {
     let mut s = corridor(2, 29);
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
     let rssi = |s: &mut Scenario| -> i8 {
-        let exec = s
-            .ws
-            .exec(&mut s.net, CommandRequest::ping(1, 1, 32, None))
-            .unwrap();
+        let exec =
+            s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None))
+                .unwrap();
         let CommandResult::Ping(p) = exec.result else {
             panic!("ping failed: {:?}", exec.result);
         };

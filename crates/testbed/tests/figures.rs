@@ -171,7 +171,10 @@ fn ablation_beacon_rate_tradeoff() {
     // Faster beacons discover the neighborhood sooner…
     let d500 = get("beacon period 500", "quality_convergence_ms");
     let d8000 = get("beacon period 8000", "quality_convergence_ms");
-    assert!(d500.is_finite() && d8000.is_finite(), "convergence must finish");
+    assert!(
+        d500.is_finite() && d8000.is_finite(),
+        "convergence must finish"
+    );
     assert!(
         d500 * 2.0 < d8000,
         "500 ms beacons should converge much faster: {d500} vs {d8000}"
@@ -202,7 +205,10 @@ fn ablation_energy_ordering() {
     // And they all vanish next to idle listening — the reason the
     // paper's zero-overhead-when-inactive property matters.
     let listen = get("idle listening (network, 1 min)");
-    assert!(listen > 1000.0 * t8, "listen = {listen} J vs traceroute {t8} J");
+    assert!(
+        listen > 1000.0 * t8,
+        "listen = {listen} J vs traceroute {t8} J"
+    );
 }
 
 /// End-to-end guard for the reachability cache: the headline figures
@@ -253,7 +259,9 @@ fn link_characterization_has_three_regions() {
     assert!(
         rows.iter().any(|r| (0.15..0.85).contains(&r.prr)),
         "no transitional band: {:?}",
-        rows.iter().map(|r| (r.distance_m, r.prr)).collect::<Vec<_>>()
+        rows.iter()
+            .map(|r| (r.distance_m, r.prr))
+            .collect::<Vec<_>>()
     );
     // RSSI of received frames declines with distance overall.
     let near_rssi = rows[0].mean_rssi;

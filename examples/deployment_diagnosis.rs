@@ -43,8 +43,11 @@ fn main() {
     // Step 1: is the far end alive at all?
     println!("\n$ping 192.168.0.6 round=1 length=32 port=10");
     s.ws.clear_transcript();
-    s.ws.exec(&mut s.net, CommandRequest::ping(5, 1, 32, Some(Port::GEOGRAPHIC)))
-        .unwrap();
+    s.ws.exec(
+        &mut s.net,
+        CommandRequest::ping(5, 1, 32, Some(Port::GEOGRAPHIC)),
+    )
+    .unwrap();
     for l in s.ws.transcript() {
         println!("{l}");
     }
@@ -53,8 +56,11 @@ fn main() {
     // Step 2: trace the path hop by hop.
     println!("\n$traceroute 192.168.0.5 round=1 length=32 port=10");
     s.ws.clear_transcript();
-    let exec = s
-        .ws.exec(&mut s.net, CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC))
+    let exec =
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC),
+        )
         .unwrap();
     for l in s.ws.transcript() {
         println!("{l}");
@@ -72,7 +78,8 @@ fn main() {
     let mut ws2 = Workstation::install(&mut s.net, 3);
     ws2.cd(&s.net, "192.168.0.4").unwrap();
     println!("$list quality");
-    ws2.exec(&mut s.net, CommandRequest::neighbor_list(true)).unwrap();
+    ws2.exec(&mut s.net, CommandRequest::neighbor_list(true))
+        .unwrap();
     for l in ws2.transcript() {
         println!("{l}");
     }
@@ -84,13 +91,15 @@ fn main() {
     let mut ws3 = Workstation::install(&mut s.net, 4);
     ws3.cd(&s.net, "192.168.0.5").unwrap();
     println!("$list quality");
-    ws3.exec(&mut s.net, CommandRequest::neighbor_list(true)).unwrap();
+    ws3.exec(&mut s.net, CommandRequest::neighbor_list(true))
+        .unwrap();
     for l in ws3.transcript() {
         println!("{l}");
     }
     println!("\n$ping 192.168.0.4 round=1 length=32");
     ws3.clear_transcript();
-    ws3.exec(&mut s.net, CommandRequest::ping(3, 1, 32, None)).unwrap();
+    ws3.exec(&mut s.net, CommandRequest::ping(3, 1, 32, None))
+        .unwrap();
     for l in ws3.transcript() {
         println!("{l}");
     }
@@ -104,8 +113,11 @@ fn main() {
     s.net.run_for(SimDuration::from_secs(20)); // estimators recover
     println!("$traceroute 192.168.0.5 round=1 length=32 port=10   (from node .1)");
     s.ws.clear_transcript();
-    let exec = s
-        .ws.exec(&mut s.net, CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC))
+    let exec =
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC),
+        )
         .unwrap();
     for l in s.ws.transcript() {
         println!("{l}");
@@ -113,7 +125,11 @@ fn main() {
     if let CommandResult::Traceroute(t) = &exec.result {
         println!(
             "\n=> path to 192.168.0.5 {} — repair verified in seconds,",
-            if t.reached { "restored" } else { "still broken" }
+            if t.reached {
+                "restored"
+            } else {
+                "still broken"
+            }
         );
         println!("   the immediate-feedback loop the toolkit was built for.");
     }

@@ -84,8 +84,11 @@ fn main() {
     println!("{:<24} {:>10} {:>14}", "pair", "RTT [ms]", "queue (f/b)");
     let mut worst: Option<(u16, f64)> = None;
     for hop in 1..6u16 {
-        let exec = s
-            .ws.exec(&mut s.net, CommandRequest::ping(hop, 1, 32, Some(Port::GEOGRAPHIC)))
+        let exec =
+            s.ws.exec(
+                &mut s.net,
+                CommandRequest::ping(hop, 1, 32, Some(Port::GEOGRAPHIC)),
+            )
             .unwrap();
         if let CommandResult::Ping(p) = &exec.result {
             if let Some(r) = p.rounds.first() {
@@ -109,7 +112,11 @@ fn main() {
     // Per-hop view of the busiest path.
     println!("\n$traceroute 192.168.0.6 round=1 length=32 port=10");
     s.ws.clear_transcript();
-    s.ws.exec(&mut s.net, CommandRequest::traceroute(5, 32, Port::GEOGRAPHIC)).unwrap();
+    s.ws.exec(
+        &mut s.net,
+        CommandRequest::traceroute(5, 32, Port::GEOGRAPHIC),
+    )
+    .unwrap();
     for l in s.ws.transcript() {
         println!("{l}");
     }

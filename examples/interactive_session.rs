@@ -32,7 +32,8 @@ fn main() {
 
     println!("\n$traceroute 192.168.0.4 round=1 length=32 port=10");
     ws.clear_transcript();
-    ws.exec(net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC)).unwrap();
+    ws.exec(net, CommandRequest::traceroute(3, 32, Port::GEOGRAPHIC))
+        .unwrap();
     for l in ws.transcript() {
         println!("{l}");
     }
@@ -60,7 +61,11 @@ fn main() {
 
     println!("\n$update beaconperiod=1000ms");
     ws.clear_transcript();
-    ws.exec(net, CommandRequest::update_beacon(SimDuration::from_millis(1000))).unwrap();
+    ws.exec(
+        net,
+        CommandRequest::update_beacon(SimDuration::from_millis(1000)),
+    )
+    .unwrap();
     for l in ws.transcript() {
         println!("{l}");
     }

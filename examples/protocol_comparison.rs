@@ -58,7 +58,9 @@ fn main() {
         (Port::TREE, "collection tree (12)"),
     ] {
         s.net.counters.reset();
-        let exec = s.ws.exec(&mut s.net, CommandRequest::ping(0, 1, 32, Some(port))).unwrap();
+        let exec =
+            s.ws.exec(&mut s.net, CommandRequest::ping(0, 1, 32, Some(port)))
+                .unwrap();
         let pkts = s.net.counters.get("tx.data");
         match &exec.result {
             CommandResult::Ping(p) if p.received > 0 => {

@@ -37,7 +37,9 @@ fn main() {
 
     // ping 192.168.0.2 round=1 length=32
     println!("$ping 192.168.0.2 round=1 length=32");
-    let exec = ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).expect("logged in");
+    let exec = ws
+        .exec(&mut net, CommandRequest::ping(1, 1, 32, None))
+        .expect("logged in");
     for line in ws.transcript() {
         println!("{line}");
     }

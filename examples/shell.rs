@@ -111,8 +111,7 @@ fn main() {
                 println!("{}", s.ws.report(&s.net).to_json());
             }
             Ok(ShellInput::Run { secs }) => {
-                s.net
-                    .run_for(SimDuration::from_nanos((secs * 1e9) as u64));
+                s.net.run_for(SimDuration::from_nanos((secs * 1e9) as u64));
                 println!("(advanced {secs} s; now t = {})", s.net.now());
             }
             Ok(ShellInput::Command(cmd)) => match cmd.resolve(&s.net) {

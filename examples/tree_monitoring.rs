@@ -116,7 +116,8 @@ fn main() {
     // the root's child shows gradient 0 at the root.
     s.ws.cd(&s.net, "192.168.0.2").unwrap();
     s.ws.clear_transcript();
-    s.ws.exec(&mut s.net, CommandRequest::neighbor_list(true)).unwrap();
+    s.ws.exec(&mut s.net, CommandRequest::neighbor_list(true))
+        .unwrap();
     println!("\n$cd /sn01/192.168.0.2 && list quality");
     for l in s.ws.transcript() {
         println!("{l}");
@@ -142,10 +143,9 @@ fn main() {
     println!("bounded version of distance-vector count-to-infinity):");
     print_tree(&s.net);
 
-    let exec = s
-        .ws
-        .exec_on(&mut s.net, 1, liteview_repro::liteview::Command::Status)
-        .unwrap();
+    let exec =
+        s.ws.exec_on(&mut s.net, 1, liteview_repro::liteview::Command::Status)
+            .unwrap();
     if let CommandResult::Status { neighbors, .. } = exec.result {
         println!("\nnode 192.168.0.2 now reports {neighbors} neighbor(s): its");
         println!("downstream child vanished from the table — the operator sees");

@@ -13,4 +13,7 @@ cargo clippy --all-targets -- -D warnings
 echo "== scaling smoke (100 nodes, cached vs brute) =="
 cargo run --release -q -p lv-bench --bin figures -- --scale --sizes 100
 
+echo "== determinism digest gate (goldens/figure_digests.json) =="
+cargo run --release -q -p lv-bench --bin figures -- --check-digests goldens/figure_digests.json
+
 echo "verify: OK"

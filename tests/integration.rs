@@ -3,10 +3,10 @@
 
 use liteview_repro::liteview::{CommandRequest, CommandResult, Workstation};
 use liteview_repro::lv_net::packet::Port;
+use liteview_repro::lv_radio::PowerLevel;
 use liteview_repro::lv_sim::SimDuration;
 use liteview_repro::lv_testbed::scenario::{Protocols, Scenario, ScenarioConfig};
 use liteview_repro::lv_testbed::{failures, topology, Topology};
-use liteview_repro::lv_radio::PowerLevel;
 
 #[test]
 fn thirty_node_testbed_boots_and_is_manageable() {
@@ -46,7 +46,9 @@ fn power_tuning_changes_measured_rssi() {
     let mut s = Scenario::build(cfg);
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
     let rssi_at = |s: &mut Scenario| -> i8 {
-        let exec = s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None)).unwrap();
+        let exec =
+            s.ws.exec(&mut s.net, CommandRequest::ping(1, 1, 32, None))
+                .unwrap();
         match exec.result {
             CommandResult::Ping(p) => p.rounds[0].rssi_fwd,
             other => panic!("{other:?}"),
@@ -71,7 +73,9 @@ fn channel_separation_then_reunion() {
     let mut s = Scenario::build(cfg);
     s.ws.cd(&s.net, "192.168.0.2").unwrap();
     // Move the far node to channel 20; it keeps working there.
-    let exec = s.ws.exec(&mut s.net, CommandRequest::set_channel(20)).unwrap();
+    let exec =
+        s.ws.exec(&mut s.net, CommandRequest::set_channel(20))
+            .unwrap();
     assert_eq!(exec.result, CommandResult::Ok);
     // The workstation (bridge still on 17) can no longer reach it.
     let exec = s.ws.exec(&mut s.net, CommandRequest::get_power()).unwrap();
@@ -95,7 +99,12 @@ fn diagnosis_workflow_end_to_end() {
     s.net.run_for(SimDuration::from_secs(30));
     s.ws.cd(&s.net, "192.168.0.1").unwrap();
     // Traceroute stops before the destination.
-    let exec = s.ws.exec(&mut s.net, CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC)).unwrap();
+    let exec =
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC),
+        )
+        .unwrap();
     let CommandResult::Traceroute(t) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -105,7 +114,12 @@ fn diagnosis_workflow_end_to_end() {
     // Repair and verify.
     failures::repair_link(&mut s.net, 3, 2);
     s.net.run_for(SimDuration::from_secs(20));
-    let exec = s.ws.exec(&mut s.net, CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC)).unwrap();
+    let exec =
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::traceroute(4, 32, Port::GEOGRAPHIC),
+        )
+        .unwrap();
     let CommandResult::Traceroute(t) = &exec.result else {
         panic!("{:?}", exec.result)
     };
@@ -147,18 +161,41 @@ fn flooding_survives_where_geographic_cannot() {
         ..ScenarioConfig::new(Topology::Line { n: 3, spacing: 1.0 }, 19)
     };
     // Build by hand so we can use custom positions + blocked links.
-    let mut medium = liteview_repro::lv_radio::Medium::new(
-        positions,
-        Default::default(),
-        topo_cfg.seed,
-    );
+    let mut medium =
+        liteview_repro::lv_radio::Medium::new(positions, Default::default(), topo_cfg.seed);
     // Cut 0↔2 directly: only the dog-leg works.
-    medium.set_override(0, 2, liteview_repro::lv_radio::LinkOverride { blocked: true, ..Default::default() });
-    medium.set_override(2, 0, liteview_repro::lv_radio::LinkOverride { blocked: true, ..Default::default() });
+    medium.set_override(
+        0,
+        2,
+        liteview_repro::lv_radio::LinkOverride {
+            blocked: true,
+            ..Default::default()
+        },
+    );
+    medium.set_override(
+        2,
+        0,
+        liteview_repro::lv_radio::LinkOverride {
+            blocked: true,
+            ..Default::default()
+        },
+    );
     let mut net = liteview_repro::lv_kernel::Network::new(medium, topo_cfg.seed);
     for i in 0..3u16 {
-        net.install_router(i, Box::new(liteview_repro::lv_net::routing::Geographic::new(Port::GEOGRAPHIC))).unwrap();
-        net.install_router(i, Box::new(liteview_repro::lv_net::routing::Flooding::new(Port::FLOODING))).unwrap();
+        net.install_router(
+            i,
+            Box::new(liteview_repro::lv_net::routing::Geographic::new(
+                Port::GEOGRAPHIC,
+            )),
+        )
+        .unwrap();
+        net.install_router(
+            i,
+            Box::new(liteview_repro::lv_net::routing::Flooding::new(
+                Port::FLOODING,
+            )),
+        )
+        .unwrap();
     }
     liteview_repro::liteview::install_suite(&mut net);
     net.run_for(SimDuration::from_secs(25));
@@ -168,11 +205,21 @@ fn flooding_survives_where_geographic_cannot() {
     // is closer (10 vs 19 units): greedy works here. Instead probe the
     // reverse property: both deliver; flooding costs more packets.
     net.counters.reset();
-    let exec = ws.exec(&mut net, CommandRequest::ping(2, 1, 32, Some(Port::GEOGRAPHIC))).unwrap();
+    let exec = ws
+        .exec(
+            &mut net,
+            CommandRequest::ping(2, 1, 32, Some(Port::GEOGRAPHIC)),
+        )
+        .unwrap();
     let geo_pkts = net.counters.get("tx.data");
     let geo_ok = matches!(&exec.result, CommandResult::Ping(p) if p.received == 1);
     net.counters.reset();
-    let exec = ws.exec(&mut net, CommandRequest::ping(2, 1, 32, Some(Port::FLOODING))).unwrap();
+    let exec = ws
+        .exec(
+            &mut net,
+            CommandRequest::ping(2, 1, 32, Some(Port::FLOODING)),
+        )
+        .unwrap();
     let flood_pkts = net.counters.get("tx.data");
     let flood_ok = matches!(&exec.result, CommandResult::Ping(p) if p.received == 1);
     assert!(geo_ok && flood_ok, "both protocols must deliver");
@@ -188,8 +235,17 @@ fn seeded_runs_are_bit_identical() {
         let cfg = ScenarioConfig::new(Topology::eight_hop_corridor(), seed);
         let mut s = Scenario::build(cfg);
         s.ws.cd(&s.net, "192.168.0.1").unwrap();
-        let exec = s.ws.exec(&mut s.net, CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC)).unwrap();
-        format!("{:?} :: {:?}", exec.result, s.net.counters.iter().collect::<Vec<_>>())
+        let exec =
+            s.ws.exec(
+                &mut s.net,
+                CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC),
+            )
+            .unwrap();
+        format!(
+            "{:?} :: {:?}",
+            exec.result,
+            s.net.counters.iter().collect::<Vec<_>>()
+        )
     };
     assert_eq!(run(1234), run(1234));
     assert_ne!(run(1234), run(1235));

@@ -46,10 +46,21 @@ struct Variant {
 
 #[derive(Debug)]
 enum Input {
-    NamedStruct { name: String, fields: Vec<Field> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Extract `default` configuration from one `#[serde(...)]` attribute

@@ -371,7 +371,10 @@ mod tests {
             ("hop".into(), Value::U64(1)),
             ("delay_ms".into(), Value::F64(2.0)),
             ("name".into(), Value::Str("a\"b".into())),
-            ("seq".into(), Value::Seq(vec![Value::Bool(true), Value::Null])),
+            (
+                "seq".into(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
         ]);
         assert_eq!(
             to_string(&v).unwrap(),
