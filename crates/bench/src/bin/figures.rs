@@ -358,6 +358,7 @@ fn dynamics(args: &Args) {
             "evictions = {}, blacklists = {}, dyn trace events = {}, digest = {}",
             r.evictions, r.blacklists, r.dyn_trace_events, r.digest
         );
+        println!("audit violations = {}", r.audit_violations);
     }
     let mut bad = Vec::new();
     if r.detect_ms < 0.0 {
@@ -377,6 +378,9 @@ fn dynamics(args: &Args) {
     }
     if r.blacklists == 0 {
         bad.push("the degradation watchdog never blacklisted the weakening link");
+    }
+    if r.audit_violations > 0 {
+        bad.push("the kernel runtime auditor observed invariant violations during the soak");
     }
     if r.dyn_trace_events == 0 {
         bad.push("no dyn.* mutations were counted");

@@ -31,7 +31,7 @@ use lv_net::packet::{NetPacket, Port};
 use lv_radio::Channel;
 use lv_radio::PowerLevel;
 use lv_sim::SimDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Upper bound of the random reply backoff. The 500 ms command window
 /// is "intentionally longer than needed … to allow nodes to add random
@@ -67,9 +67,9 @@ struct BatchTx {
 pub struct RuntimeController {
     next_session: u16,
     next_token: u32,
-    pending: HashMap<u32, PendingSend>,
-    deferred: HashMap<u32, Deferred>,
-    batches: HashMap<u8, BatchTx>,
+    pending: BTreeMap<u32, PendingSend>,
+    deferred: BTreeMap<u32, Deferred>,
+    batches: BTreeMap<u8, BatchTx>,
 }
 
 impl RuntimeController {
@@ -78,9 +78,9 @@ impl RuntimeController {
         RuntimeController {
             next_session: 1,
             next_token: 1,
-            pending: HashMap::new(),
-            deferred: HashMap::new(),
-            batches: HashMap::new(),
+            pending: BTreeMap::new(),
+            deferred: BTreeMap::new(),
+            batches: BTreeMap::new(),
         }
     }
 

@@ -1,0 +1,188 @@
+//! Runtime invariant auditor.
+//!
+//! The static analyzer (`lv-lint`) keeps nondeterminism and panic paths
+//! out of the source; this module watches the properties that only hold
+//! (or break) at runtime. When auditing is enabled on a
+//! [`Network`](crate::network::Network), the event loop and the
+//! dynamics engine cross-check three invariants after every relevant
+//! step:
+//!
+//! 1. **Event-time monotonicity** — the loop never dispatches an event
+//!    timestamped before the current virtual time (a regression here
+//!    means the queue or a scheduler handed time backwards, which
+//!    silently corrupts every downstream latency figure).
+//! 2. **No stale active transmissions** — after churn takes a node
+//!    down, no in-flight transmission from that node may survive in the
+//!    interference set (the `abort_transmissions_of` guarantee).
+//! 3. **Resource-ledger balance** — each node's
+//!    [`ResourceAccount`](crate::resources::ResourceAccount) must agree
+//!    with ground truth: flash in use equals the stored program files'
+//!    total, and RAM in use equals the live process slots' total. This
+//!    is exactly the PR 4 bug class (flash charged per spawn and leaked
+//!    on exit) turned into a checked property.
+//!
+//! Auditing is observational: violations accumulate on the network and
+//! are fetched with `audit_violations()` or swept on demand with
+//! `check_invariants()`, so tests and the nightly soak can assert on
+//! them without the kernel itself panicking (the `no-panic` lint rule
+//! applies here too). It is off by default and costs nothing when
+//! disabled beyond one branch per event.
+
+use lv_sim::SimTime;
+use std::fmt;
+
+/// One observed invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditViolation {
+    /// The event loop popped an event timestamped before `now`.
+    TimeRegression {
+        /// Virtual time when the pop happened.
+        now: SimTime,
+        /// The (earlier) timestamp on the popped event.
+        event: SimTime,
+    },
+    /// An active transmission from a dead node survived churn.
+    StaleActiveTx {
+        /// The dead sender.
+        sender: u16,
+        /// The surviving transmission id.
+        tx_id: u64,
+    },
+    /// A node's flash ledger disagrees with its stored program files.
+    FlashImbalance {
+        /// The node.
+        node: u16,
+        /// `flash_used` according to the ledger.
+        flash_used: u32,
+        /// Sum of the stored images' flash footprints (ground truth).
+        stored_total: u32,
+    },
+    /// A node's RAM ledger disagrees with its live process slots.
+    RamImbalance {
+        /// The node.
+        node: u16,
+        /// `ram_used` according to the ledger.
+        ram_used: u32,
+        /// Sum of the live slots' RAM footprints (ground truth).
+        slots_total: u32,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::TimeRegression { now, event } => write!(
+                f,
+                "event time regression: popped t={:.3} ms while now={:.3} ms",
+                event.as_millis_f64(),
+                now.as_millis_f64()
+            ),
+            AuditViolation::StaleActiveTx { sender, tx_id } => write!(
+                f,
+                "stale active transmission #{tx_id} from dead node {sender}"
+            ),
+            AuditViolation::FlashImbalance {
+                node,
+                flash_used,
+                stored_total,
+            } => write!(
+                f,
+                "node {node} flash ledger imbalance: flash_used={flash_used} B but stored \
+                 program files total {stored_total} B"
+            ),
+            AuditViolation::RamImbalance {
+                node,
+                ram_used,
+                slots_total,
+            } => write!(
+                f,
+                "node {node} RAM ledger imbalance: ram_used={ram_used} B but live process \
+                 slots total {slots_total} B"
+            ),
+        }
+    }
+}
+
+/// Violation accumulator attached to an audited network.
+///
+/// Bounded: after [`AuditLog::CAP`] entries further violations only
+/// bump the overflow counter, so a systematically broken invariant in a
+/// long soak cannot balloon memory.
+#[derive(Debug, Default, Clone)]
+pub struct AuditLog {
+    violations: Vec<AuditViolation>,
+    overflow: u64,
+}
+
+impl AuditLog {
+    /// Maximum retained violations.
+    pub const CAP: usize = 256;
+
+    /// Record one violation (or count it as overflow past the cap).
+    pub fn record(&mut self, v: AuditViolation) {
+        if self.violations.len() < Self::CAP {
+            self.violations.push(v);
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// The retained violations, in observation order.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// Violations dropped past the cap.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.overflow == 0
+    }
+
+    /// Drop everything recorded so far.
+    pub fn clear(&mut self) {
+        self.violations.clear();
+        self.overflow = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_caps_and_counts_overflow() {
+        let mut log = AuditLog::default();
+        for i in 0..(AuditLog::CAP as u64 + 10) {
+            log.record(AuditViolation::StaleActiveTx {
+                sender: 1,
+                tx_id: i,
+            });
+        }
+        assert_eq!(log.violations().len(), AuditLog::CAP);
+        assert_eq!(log.overflow(), 10);
+        assert!(!log.is_clean());
+        log.clear();
+        assert!(log.is_clean());
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let v = AuditViolation::FlashImbalance {
+            node: 3,
+            flash_used: 4296,
+            stored_total: 2148,
+        };
+        let s = v.to_string();
+        assert!(s.contains("node 3"));
+        assert!(s.contains("4296"));
+        let t = AuditViolation::TimeRegression {
+            now: SimTime::ZERO,
+            event: SimTime::ZERO,
+        };
+        assert!(t.to_string().contains("regression"));
+    }
+}

@@ -20,7 +20,11 @@
 //! * [`network`] — the deterministic event loop coupling every node
 //!   through the shared radio medium: airtime, CCA, collisions,
 //!   acknowledgements, beacons, timers, and process hooks.
+//! * [`audit`] — the runtime invariant auditor: event-time
+//!   monotonicity, stale-transmission detection after churn, and
+//!   flash/RAM ledger balance, enabled by tests and the nightly soak.
 
+pub mod audit;
 pub mod log;
 pub mod names;
 pub mod network;
@@ -28,6 +32,7 @@ pub mod node;
 pub mod process;
 pub mod resources;
 
+pub use audit::{AuditLog, AuditViolation};
 pub use log::{EventLog, LogEntry};
 pub use names::{default_name, parse_name, shell_path, NameRegistry};
 pub use network::{DynamicsAction, Network, NetworkConfig};

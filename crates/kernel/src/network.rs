@@ -10,6 +10,7 @@
 //! The loop is strictly deterministic: one virtual clock, FIFO tie
 //! breaking, and per-node RNG streams (see `DESIGN.md` §7).
 
+use crate::audit::{AuditLog, AuditViolation};
 use crate::names::{default_name, NameRegistry};
 use crate::node::Node;
 use crate::process::{Effect, Process, RxMeta, SysCtx};
@@ -233,6 +234,9 @@ pub struct Network {
     pub counters: Counters,
     /// Optional trace sink.
     pub trace: Trace,
+    /// Runtime invariant auditor (`None` = disabled, the default).
+    /// See [`crate::audit`].
+    audit: Option<AuditLog>,
 }
 
 impl Network {
@@ -266,6 +270,7 @@ impl Network {
             config,
             counters: Counters::new(),
             trace: Trace::disabled(),
+            audit: None,
         };
         for i in 0..n as u16 {
             if net.config.beacons_enabled {
@@ -358,13 +363,105 @@ impl Network {
             if et > t {
                 break;
             }
-            let (at, ev) = self.queue.pop().expect("peeked");
+            let Some((at, ev)) = self.queue.pop() else {
+                break;
+            };
+            if let Some(log) = self.audit.as_mut() {
+                if at < self.now {
+                    log.record(AuditViolation::TimeRegression {
+                        now: self.now,
+                        event: at,
+                    });
+                }
+            }
             self.now = at;
             self.events_dispatched += 1;
             self.dispatch(ev);
         }
         if t > self.now {
             self.now = t;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime invariant auditing (see crate::audit)
+    // ------------------------------------------------------------------
+
+    /// Enable or disable the runtime invariant auditor. Disabled by
+    /// default; enabling starts with a clean log. When enabled, the
+    /// event loop checks time monotonicity on every pop and sweeps the
+    /// structural invariants after each dynamics event.
+    pub fn set_audit(&mut self, enabled: bool) {
+        self.audit = if enabled {
+            Some(AuditLog::default())
+        } else {
+            None
+        };
+    }
+
+    /// Whether the runtime auditor is active.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// Violations observed since auditing was enabled (empty slice when
+    /// auditing is off).
+    pub fn audit_violations(&self) -> &[AuditViolation] {
+        self.audit.as_ref().map_or(&[], AuditLog::violations)
+    }
+
+    /// Sweep the structural invariants right now, independent of the
+    /// enable flag: stale active transmissions from dead nodes, and
+    /// every node's flash/RAM ledger against ground truth. Returns the
+    /// first violation found (all are also recorded when auditing is
+    /// enabled).
+    pub fn check_invariants(&mut self) -> Result<(), AuditViolation> {
+        let mut found: Vec<AuditViolation> = Vec::new();
+        for (&tx_id, tx) in &self.active {
+            // Only transmissions still on the air matter; ended entries
+            // legitimately linger until the amortized prune.
+            if tx.end > self.now
+                && (!self.nodes[tx.sender as usize].alive || self.medium.is_dead(tx.sender))
+            {
+                found.push(AuditViolation::StaleActiveTx {
+                    sender: tx.sender,
+                    tx_id,
+                });
+            }
+        }
+        for node in &self.nodes {
+            let flash_used = node.resources.flash_used();
+            let stored_total = node.resources.stored_flash_total();
+            if flash_used != stored_total {
+                found.push(AuditViolation::FlashImbalance {
+                    node: node.id,
+                    flash_used,
+                    stored_total,
+                });
+            }
+            let ram_used = node.resources.ram_used();
+            let slots_total: u32 = node
+                .processes
+                .values()
+                .map(|slot| slot.image.ram_bytes)
+                .sum();
+            if ram_used != slots_total {
+                found.push(AuditViolation::RamImbalance {
+                    node: node.id,
+                    ram_used,
+                    slots_total,
+                });
+            }
+        }
+        let first = found.first().cloned();
+        if let Some(log) = self.audit.as_mut() {
+            for v in found {
+                log.record(v);
+            }
+        }
+        match first {
+            Some(v) => Err(v),
+            None => Ok(()),
         }
     }
 
@@ -447,7 +544,14 @@ impl Network {
                 let hk = self.config.housekeeping_period;
                 self.queue.push(self.now + hk, Event::Housekeeping { node });
             }
-            Event::Dynamics { action } => self.apply_dynamics(action),
+            Event::Dynamics { action } => {
+                self.apply_dynamics(action);
+                if self.audit.is_some() {
+                    // Churn is where the structural invariants can
+                    // break; sweep right after every dynamics action.
+                    let _ = self.check_invariants();
+                }
+            }
         }
     }
 
@@ -883,7 +987,23 @@ impl Network {
                     Next::Dropped => {}
                 }
             }
-            FrameKind::Ack => unreachable!("acks are consumed by the MAC"),
+            FrameKind::Ack => {
+                // The MAC consumes acks in its rx path; one surfacing
+                // here means the layering slipped. Count it and drop
+                // the frame rather than aborting the whole simulation.
+                self.counters.incr_id(CounterId::MacAnomaly);
+                if self.trace.accepts(TraceLevel::Packet) {
+                    self.trace.emit(
+                        now,
+                        node,
+                        TraceLevel::Packet,
+                        format!(
+                            "mac.anomaly stray ack reached network layer from {} seq={}",
+                            frame.src, frame.seq
+                        ),
+                    );
+                }
+            }
         }
     }
 
@@ -1235,6 +1355,7 @@ impl Network {
 mod tests {
     use super::*;
     use crate::process::Process;
+    use crate::resources::ProcessImage;
     use lv_net::packet::Port;
     use lv_radio::propagation::PropagationConfig;
     use lv_radio::units::Position;
@@ -1696,6 +1817,163 @@ mod tests {
         assert!(net.node(1).stack.neighbors.get(0).is_some());
         assert_eq!(net.counters.get("dyn.node_down"), 1);
         assert_eq!(net.counters.get("dyn.node_up"), 1);
+    }
+    // ------------------------------------------------------------------
+    // Runtime invariant auditor (crate::audit)
+    // ------------------------------------------------------------------
+
+    /// Regression for the PR 4 bug class: flash charged without a
+    /// stored program file behind it. The auditor must trip on the
+    /// exact imbalance that leak produced.
+    #[test]
+    fn auditor_trips_on_reinjected_flash_leak() {
+        let mut net = Network::new(line_medium(2, 5.0, 11), 11);
+        net.set_audit(true);
+        net.spawn_process(
+            0,
+            Box::new(OneShot {
+                dst: 1,
+                port: Port(40),
+                got_reply: Rc::new(RefCell::new(0)),
+            }),
+            vec![],
+        )
+        .unwrap();
+        net.run_for(SimDuration::from_millis(50));
+        assert!(net.check_invariants().is_ok(), "healthy run must be clean");
+        // Re-create the leak: charge flash as if a spawn stored a new
+        // program file, without actually storing one.
+        net.node_mut(0)
+            .resources
+            .corrupt_flash_for_audit_test(ProcessImage::PING.flash_bytes);
+        match net.check_invariants() {
+            Err(AuditViolation::FlashImbalance {
+                node,
+                flash_used,
+                stored_total,
+            }) => {
+                assert_eq!(node, 0);
+                assert_eq!(flash_used, stored_total + ProcessImage::PING.flash_bytes);
+            }
+            other => panic!("expected FlashImbalance, got {other:?}"),
+        }
+        // The violation is also recorded on the audit log.
+        assert!(!net.audit_violations().is_empty());
+    }
+
+    /// A RAM ledger that disagrees with the live process slots is the
+    /// other half of the resource invariant.
+    #[test]
+    fn auditor_trips_on_ram_imbalance() {
+        let mut net = Network::new(line_medium(1, 5.0, 11), 11);
+        assert!(net.check_invariants().is_ok());
+        // Charge the ledger with no process slot behind it: ram_used
+        // now over-reports the live slots.
+        net.node_mut(0)
+            .resources
+            .register(ProcessImage::PING)
+            .unwrap();
+        assert!(matches!(
+            net.check_invariants(),
+            Err(AuditViolation::RamImbalance { node: 0, .. })
+        ));
+    }
+
+    /// Killing a node through the dynamics engine aborts its
+    /// transmissions (the churn guarantee), so the auditor stays clean;
+    /// flipping `alive` behind the engine's back leaves a stale entry
+    /// the sweep must catch.
+    #[test]
+    fn auditor_catches_stale_transmissions_only_on_raw_kill() {
+        let run = |raw_kill: bool| {
+            let mut net = Network::with_config(
+                line_medium(2, 5.0, 13),
+                13,
+                NetworkConfig {
+                    beacons_enabled: false,
+                    ..NetworkConfig::default()
+                },
+            );
+            net.set_audit(true);
+            net.spawn_process(
+                0,
+                Box::new(OneShot {
+                    dst: 1,
+                    port: Port(42),
+                    got_reply: Rc::new(RefCell::new(0)),
+                }),
+                vec![],
+            )
+            .unwrap();
+            run_until_airborne(&mut net, 0);
+            if raw_kill {
+                net.node_mut(0).alive = false;
+            } else {
+                net.schedule_dynamics(net.now(), DynamicsAction::NodeDown { id: 0 });
+                net.run_for(SimDuration::from_micros(1));
+            }
+            net.check_invariants()
+        };
+        assert!(run(false).is_ok(), "dynamics churn must leave no stale tx");
+        assert!(
+            matches!(
+                run(true),
+                Err(AuditViolation::StaleActiveTx { sender: 0, .. })
+            ),
+            "raw kill must trip the stale-transmission sweep"
+        );
+    }
+
+    /// An event scheduled in the past is dispatched at its (earlier)
+    /// timestamp; with auditing on, that time regression is recorded.
+    #[test]
+    fn auditor_records_time_regression() {
+        let mut net = Network::with_config(
+            line_medium(1, 5.0, 17),
+            17,
+            NetworkConfig {
+                beacons_enabled: false,
+                ..NetworkConfig::default()
+            },
+        );
+        net.set_audit(true);
+        net.run_for(SimDuration::from_secs(1));
+        assert!(net.audit_violations().is_empty());
+        // `schedule_dynamics` clamps past timestamps to now, so reach
+        // under it: push an event dated t=0 straight onto the queue,
+        // the way a buggy scheduler would.
+        net.queue.push(
+            SimTime::ZERO,
+            Event::Dynamics {
+                action: DynamicsAction::SetChannelNoise {
+                    channel: Channel::default(),
+                    delta_db: 1.0,
+                },
+            },
+        );
+        net.run_for(SimDuration::from_millis(1));
+        assert!(
+            net.audit_violations()
+                .iter()
+                .any(|v| matches!(v, AuditViolation::TimeRegression { .. })),
+            "got {:?}",
+            net.audit_violations()
+        );
+    }
+
+    /// Auditing is off by default and `set_audit(false)` drops the log.
+    #[test]
+    fn audit_disabled_by_default_and_resettable() {
+        let mut net = Network::new(line_medium(1, 5.0, 19), 19);
+        assert!(!net.audit_enabled());
+        assert!(net.audit_violations().is_empty());
+        net.set_audit(true);
+        assert!(net.audit_enabled());
+        net.node_mut(0).resources.corrupt_flash_for_audit_test(1);
+        let _ = net.check_invariants();
+        assert!(!net.audit_violations().is_empty());
+        net.set_audit(false);
+        assert!(net.audit_violations().is_empty());
     }
 }
 

@@ -167,6 +167,27 @@ impl ResourceAccount {
     pub fn ram_capacity(&self) -> u32 {
         self.ram_capacity
     }
+
+    /// Ground truth for the flash ledger: the stored program files'
+    /// total footprint. The runtime auditor checks
+    /// `flash_used() == stored_flash_total()` — the invariant the PR 4
+    /// flash-leak bug violated.
+    pub fn stored_flash_total(&self) -> u32 {
+        self.stored.iter().map(|i| i.flash_bytes).sum()
+    }
+
+    /// Number of program files currently stored in flash.
+    pub fn stored_count(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Test hook: charge flash without storing a program file,
+    /// re-creating the PR 4 leak pattern so auditor regression tests
+    /// can prove the imbalance is caught. Not part of the model.
+    #[doc(hidden)]
+    pub fn corrupt_flash_for_audit_test(&mut self, bytes: u32) {
+        self.flash_used = self.flash_used.saturating_add(bytes);
+    }
 }
 
 impl Default for ResourceAccount {

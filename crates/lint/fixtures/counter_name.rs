@@ -1,0 +1,20 @@
+//! Fixture for the `counter-name` rule. Not compiled — scanned by
+//! `tests/fixtures.rs` (rule applies to every crate).
+
+fn violation(c: &mut Counters) {
+    c.incr("NodeDown"); // finding (line 5): not namespaced
+}
+
+fn also_violation(c: &mut Counters) {
+    c.add("retries", 3); // finding (line 9): no namespace dot
+}
+
+fn allowed(c: &mut Counters) {
+    c.incr("LegacyCounter"); // lv-lint: allow(counter-name)
+}
+
+fn fine(c: &mut Counters) {
+    c.incr("dyn.node_down");
+    c.add("padding.capped", 2);
+    c.incr("net.drop.NoRoute");
+}

@@ -1,0 +1,28 @@
+//! Fixture for the `hash-iter` rule. Not compiled — scanned by
+//! `tests/fixtures.rs` with a harness crate key (where owning a
+//! HashMap is fine but iterating it is not).
+
+struct Harness {
+    stats: HashMap<String, u64>,
+}
+
+fn violation(h: &Harness) -> Vec<String> {
+    h.stats.keys().cloned().collect() // finding (line 10): stats.keys()
+}
+
+fn also_violation(h: &Harness) {
+    for entry in &h.stats {
+        // finding (line 14): for … in &stats
+        drop(entry);
+    }
+}
+
+fn allowed(h: &Harness) -> Vec<String> {
+    let mut v: Vec<String> = h.stats.keys().cloned().collect(); // lv-lint: allow(hash-iter)
+    v.sort();
+    v
+}
+
+fn fine(h: &Harness, key: &str) -> Option<u64> {
+    h.stats.get(key).copied() // keyed access never leaks order
+}

@@ -1,0 +1,14 @@
+//! Fixture for the `hash-type` rule. Not compiled — scanned by
+//! `tests/fixtures.rs` with a sim-path crate key.
+
+struct Violation {
+    map: HashMap<u32, u32>, // finding (line 5)
+}
+
+struct Allowed {
+    set: HashSet<u32>, // lv-lint: allow(hash-type)
+}
+
+struct Fine {
+    map: BTreeMap<u32, u32>,
+}

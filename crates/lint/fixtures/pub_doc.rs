@@ -1,0 +1,21 @@
+//! Fixture for the `pub-doc` rule. Not compiled — scanned by
+//! `tests/fixtures.rs` (rule applies to every crate).
+
+/// Documented: no finding.
+pub fn documented() {}
+
+pub fn violation() {} // finding (line 7)
+
+pub struct AlsoViolation; // finding (line 9)
+
+// lv-lint: allow(pub-doc)
+pub fn allowed() {}
+
+#[doc = "Attribute docs count."]
+pub fn attr_documented() {}
+
+pub(crate) fn restricted_is_fine() {}
+
+pub mod file_mod_decl_is_fine;
+
+fn private_is_fine() {}

@@ -1,0 +1,22 @@
+//! Fixture for the `trace-coverage` rule. Not compiled — scanned by
+//! `tests/fixtures.rs` with the kernel crate key.
+
+fn violation(&mut self) {
+    // Counts a dynamics mutation but never emits a trace event.
+    self.counters.incr_id(CounterId::DynNodeDown); // finding (line 6)
+    self.nodes[0].alive = false;
+}
+
+fn fine(&mut self) {
+    self.counters.incr_id(CounterId::DynNodeUp);
+    self.trace.emit(self.now, 0, TraceLevel::Info, "dyn.node_up".to_owned());
+}
+
+fn allowed(&mut self) {
+    self.counters.incr_id(CounterId::DynReconfig); // lv-lint: allow(trace-coverage)
+}
+
+fn unrelated(&mut self) {
+    // Non-dynamics counters need no trace pairing.
+    self.counters.incr_id(CounterId::NetDeliver);
+}

@@ -1,0 +1,21 @@
+//! Fixture for the `wall-clock` rule. Not compiled — scanned by
+//! `tests/fixtures.rs` with a sim-path crate key.
+
+fn violation() -> f64 {
+    let t = std::time::Instant::now(); // finding (line 5)
+    t.elapsed().as_secs_f64()
+}
+
+fn allowed() {
+    let _ = std::time::SystemTime::now(); // lv-lint: allow(wall-clock)
+}
+
+// Instant mentioned only in a comment is never a finding.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

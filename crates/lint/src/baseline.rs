@@ -1,0 +1,230 @@
+//! Baseline files: grandfathered findings.
+//!
+//! A baseline entry is a stable fingerprint of a finding — the rule
+//! name, the file path, and the *trimmed source line* (not the line
+//! number, so unrelated edits above a grandfathered site don't
+//! invalidate it). Fingerprints are FNV-1a 64, matching the hash the
+//! figure-digest gate already uses.
+//!
+//! Semantics are multiset: a baseline line `2 <hash> <rule> <path>`
+//! absorbs up to two findings with that fingerprint. Anything beyond
+//! the baselined count is new and fails the gate; baselined entries no
+//! longer matched anywhere are reported as stale so the file shrinks
+//! over time instead of rotting.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// FNV-1a 64-bit, same constants as the figure digest gate.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprint of a finding (rule + path + trimmed line text).
+pub fn fingerprint(f: &Finding) -> u64 {
+    let mut buf = Vec::with_capacity(f.rule.len() + f.path.len() + f.snippet.len() + 2);
+    buf.extend_from_slice(f.rule.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(f.path.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(f.snippet.as_bytes());
+    fnv1a(&buf)
+}
+
+/// A parsed baseline: fingerprint → allowed count (with the rule/path
+/// kept for stale-entry reporting).
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: BTreeMap<u64, BaselineEntry>,
+}
+
+/// One baseline record.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// How many findings this fingerprint absorbs.
+    pub count: u32,
+    /// Rule name (informational).
+    pub rule: String,
+    /// File path (informational).
+    pub path: String,
+}
+
+/// Result of filtering findings through a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Findings not absorbed by the baseline: these fail the gate.
+    pub new: Vec<Finding>,
+    /// Findings absorbed by the baseline (grandfathered).
+    pub absorbed: usize,
+    /// Baseline entries with no matching finding left, as
+    /// `(rule, path)` pairs; candidates for deletion.
+    pub stale: Vec<(String, String)>,
+}
+
+impl Baseline {
+    /// Parse the text of a baseline file. Lines are
+    /// `<count> <hex-fingerprint> <rule> <path>`; blank lines and `#`
+    /// comments are skipped. Malformed lines are errors — a typo in the
+    /// baseline must not silently widen the gate.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (count, hash, rule, path) =
+                match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                    (Some(c), Some(h), Some(r), Some(p)) => (c, h, r, p),
+                    _ => {
+                        return Err(format!(
+                            "baseline line {}: expected `<count> <hash> <rule> <path>`",
+                            idx + 1
+                        ))
+                    }
+                };
+            let count: u32 = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
+            let hash = u64::from_str_radix(hash.trim_start_matches("0x"), 16)
+                .map_err(|_| format!("baseline line {}: bad fingerprint `{hash}`", idx + 1))?;
+            entries.insert(
+                hash,
+                BaselineEntry {
+                    count,
+                    rule: rule.to_owned(),
+                    path: path.to_owned(),
+                },
+            );
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serialize findings as a fresh baseline file (for
+    /// `--update-baseline`). Deterministic: sorted by rule, then path,
+    /// then fingerprint.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(String, String, u64), u32> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.rule.to_owned(), f.path.clone(), fingerprint(f)))
+                .or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# lv-lint baseline: grandfathered findings.\n\
+             # Format: <count> <fnv1a-64 hex> <rule> <path>\n\
+             # Regenerate with: cargo run -p lv-lint -- --update-baseline\n",
+        );
+        for ((rule, path, hash), count) in &counts {
+            out.push_str(&format!("{count} {hash:016x} {rule} {path}\n"));
+        }
+        out
+    }
+
+    /// Split findings into new vs. absorbed, and report stale entries.
+    pub fn apply(&self, findings: Vec<Finding>) -> BaselineOutcome {
+        let mut remaining: BTreeMap<u64, u32> =
+            self.entries.iter().map(|(h, e)| (*h, e.count)).collect();
+        let mut outcome = BaselineOutcome::default();
+        for f in findings {
+            let h = fingerprint(&f);
+            match remaining.get_mut(&h) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    outcome.absorbed += 1;
+                }
+                _ => outcome.new.push(f),
+            }
+        }
+        for (h, n) in &remaining {
+            if *n > 0 {
+                if let Some(e) = self.entries.get(h) {
+                    outcome.stale.push((e.rule.clone(), e.path.clone()));
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_owned(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            snippet: snippet.to_owned(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_absorbs_exactly() {
+        let f1 = finding("no-panic", "crates/kernel/src/x.rs", "x.unwrap();");
+        let f2 = finding("no-panic", "crates/kernel/src/x.rs", "y.unwrap();");
+        let text = Baseline::render(&[f1.clone(), f2.clone()]);
+        let bl = Baseline::parse(&text).unwrap();
+        assert_eq!(bl.len(), 2);
+        // Both absorbed, a third (new) finding surfaces.
+        let f3 = finding("no-panic", "crates/kernel/src/x.rs", "z.unwrap();");
+        let out = bl.apply(vec![f1, f2, f3.clone()]);
+        assert_eq!(out.absorbed, 2);
+        assert_eq!(out.new.len(), 1);
+        assert_eq!(out.new[0].snippet, f3.snippet);
+        assert!(out.stale.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_survives_line_moves() {
+        let a = finding("no-panic", "p.rs", "x.unwrap();");
+        let mut b = a.clone();
+        b.line = 99;
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn stale_entries_reported() {
+        let f = finding("pub-doc", "p.rs", "pub fn gone() {}");
+        let bl = Baseline::parse(&Baseline::render(&[f])).unwrap();
+        let out = bl.apply(Vec::new());
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.stale[0].0, "pub-doc");
+    }
+
+    #[test]
+    fn multiset_counts() {
+        let f = finding("no-panic", "p.rs", "x.unwrap();");
+        let bl = Baseline::parse(&Baseline::render(&[f.clone(), f.clone()])).unwrap();
+        assert_eq!(bl.len(), 1); // one fingerprint, count 2
+        let out = bl.apply(vec![f.clone(), f.clone(), f.clone()]);
+        assert_eq!(out.absorbed, 2);
+        assert_eq!(out.new.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_rejected() {
+        assert!(Baseline::parse("1 nothex rule path").is_err());
+        assert!(Baseline::parse("just-words").is_err());
+        assert!(Baseline::parse("# comment only\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-crate rule configuration.
+//!
+//! Every rule is enabled for an explicit set of crates (identified by
+//! their directory name under `crates/`, with `root` naming the
+//! workspace's top-level `src/`). The default configuration encodes the
+//! repo policy from `DESIGN.md` §12; tests build custom configs to
+//! exercise rules against fixture files.
+
+/// Which crates a rule applies to.
+#[derive(Debug, Clone)]
+pub enum CrateSet {
+    /// Every scanned crate.
+    All,
+    /// Only the named crates (directory names, e.g. `"kernel"`).
+    Only(Vec<String>),
+}
+
+impl CrateSet {
+    /// True when the rule applies to `crate_key`.
+    pub fn contains(&self, crate_key: &str) -> bool {
+        match self {
+            CrateSet::All => true,
+            CrateSet::Only(list) => list.iter().any(|c| c == crate_key),
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn only(names: &[&str]) -> CrateSet {
+        CrateSet::Only(names.iter().map(|s| (*s).to_owned()).collect())
+    }
+}
+
+/// One rule's enablement.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    /// Rule name (must match a registered rule).
+    pub rule: String,
+    /// Crates the rule runs on.
+    pub crates: CrateSet,
+}
+
+/// The analyzer's configuration: which rules run where.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Enabled rules and their crate sets.
+    pub rules: Vec<RuleConfig>,
+}
+
+/// The crates whose results reach serialized output (reports, figures,
+/// digests) or whose control flow feeds the deterministic replay: the
+/// simulation path proper.
+pub const SIM_PATH_CRATES: &[&str] = &["sim", "radio", "mac", "net", "kernel", "core"];
+
+/// Crates that consume the simulation and emit artifacts; wall-clock
+/// timing is legitimate here (benchmark wall time), but hash-ordered
+/// iteration still must not leak into what they serialize.
+pub const HARNESS_CRATES: &[&str] = &["testbed", "bench", "root", "lint"];
+
+impl LintConfig {
+    /// The repo's default policy.
+    ///
+    /// * `wall-clock`, `os-random`, `hash-type` — sim-path crates only:
+    ///   no `Instant`/`SystemTime`, no OS randomness, no std hash
+    ///   collections (their iteration order depends on `RandomState`).
+    /// * `hash-iter` — harness crates: `HashMap`/`HashSet` may exist,
+    ///   but iterating one is flagged (sort first or use `BTreeMap`).
+    /// * `no-panic` — kernel and radio: `unwrap`/`expect`/`panic!` are
+    ///   forbidden in non-test code; use typed errors or anomaly paths.
+    /// * `counter-name` — everywhere: counter ids must be namespaced
+    ///   (`dyn.node_down`, `padding.capped`).
+    /// * `trace-coverage` — kernel: a function counting a `dyn.*`
+    ///   mutation must also emit a trace event.
+    /// * `pub-doc` — everywhere: `pub` items need doc comments.
+    pub fn default_for_workspace() -> LintConfig {
+        let rule = |rule: &str, crates: CrateSet| RuleConfig {
+            rule: rule.to_owned(),
+            crates,
+        };
+        LintConfig {
+            rules: vec![
+                rule("wall-clock", CrateSet::only(SIM_PATH_CRATES)),
+                rule("os-random", CrateSet::only(SIM_PATH_CRATES)),
+                rule("hash-type", CrateSet::only(SIM_PATH_CRATES)),
+                rule("hash-iter", CrateSet::only(HARNESS_CRATES)),
+                rule("no-panic", CrateSet::only(&["kernel", "radio"])),
+                rule("counter-name", CrateSet::All),
+                rule("trace-coverage", CrateSet::only(&["kernel"])),
+                rule("pub-doc", CrateSet::All),
+            ],
+        }
+    }
+
+    /// Rules enabled for `crate_key`, in configuration order.
+    pub fn rules_for(&self, crate_key: &str) -> Vec<&str> {
+        self.rules
+            .iter()
+            .filter(|r| r.crates.contains(crate_key))
+            .map(|r| r.rule.as_str())
+            .collect()
+    }
+}
+
+/// Derive the crate key from a repo-relative path:
+/// `crates/kernel/src/network.rs` → `kernel`, `src/lib.rs` → `root`.
+pub fn crate_key_of(path: &str) -> &str {
+    let path = path.strip_prefix("./").unwrap_or(path);
+    if let Some(rest) = path.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("root")
+    } else {
+        "root"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_keys() {
+        assert_eq!(crate_key_of("crates/kernel/src/network.rs"), "kernel");
+        assert_eq!(crate_key_of("./crates/radio/src/medium.rs"), "radio");
+        assert_eq!(crate_key_of("src/lib.rs"), "root");
+    }
+
+    #[test]
+    fn default_policy_scopes() {
+        let cfg = LintConfig::default_for_workspace();
+        assert!(cfg.rules_for("kernel").contains(&"no-panic"));
+        assert!(!cfg.rules_for("testbed").contains(&"no-panic"));
+        assert!(cfg.rules_for("testbed").contains(&"hash-iter"));
+        assert!(!cfg.rules_for("kernel").contains(&"hash-iter"));
+        assert!(cfg.rules_for("kernel").contains(&"hash-type"));
+        assert!(cfg.rules_for("bench").contains(&"pub-doc"));
+    }
+}

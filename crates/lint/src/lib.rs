@@ -1,0 +1,106 @@
+//! `lv-lint` — workspace determinism & invariant analyzer.
+//!
+//! A dependency-free, lexer-based static analysis pass over the
+//! workspace source. It does not parse Rust; it tokenizes it
+//! ([`lexer`]) and pattern-matches the significant token stream
+//! ([`rules`]), which is enough to enforce the repo's determinism and
+//! robustness policy with zero external crates:
+//!
+//! * **determinism** — no wall-clock time sources, OS randomness, or
+//!   std hash collections in the simulation-path crates; no iteration
+//!   over hash-backed collections anywhere results reach serialized
+//!   output.
+//! * **robustness** — no `unwrap`/`expect`/`panic!` in kernel and
+//!   radio non-test code.
+//! * **conventions** — namespaced counter ids, trace-event coverage
+//!   for kernel state mutations, docs on `pub` items.
+//!
+//! Escape hatches: an inline `// lv-lint: allow(<rule>)` directive on
+//! the offending line or the line above, and a checked-in [`baseline`]
+//! file of grandfathered findings. The binary exits nonzero on any
+//! finding not covered by either, making it suitable as a CI gate (see
+//! `scripts/verify.sh`).
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::LintConfig;
+use rules::{check_file, FileContext, Finding};
+use std::path::{Path, PathBuf};
+
+/// Lint one in-memory source file under `config`.
+pub fn lint_source(path: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
+    let ctx = FileContext::new(path, src);
+    check_file(&ctx, config)
+}
+
+/// Collect the workspace source files to scan, repo-relative, sorted.
+///
+/// Scans `crates/*/src/**/*.rs` and the top-level `src/**/*.rs`.
+/// Vendored stand-ins (`vendor/`), fixtures, tests, and build output
+/// are deliberately out of scope: the policy governs our code, not the
+/// shims around it.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut out);
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut out);
+    }
+    let mut rel: Vec<PathBuf> = out
+        .into_iter()
+        .map(|p| p.strip_prefix(root).map(Path::to_path_buf).unwrap_or(p))
+        .collect();
+    rel.sort();
+    rel
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lint every workspace source under `root`, returning findings sorted
+/// by `(path, line, col, rule)`. I/O errors on individual files are
+/// reported as findings on line 0 rather than aborting the scan.
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rel in workspace_sources(root) {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        match std::fs::read_to_string(root.join(&rel)) {
+            Ok(src) => findings.extend(lint_source(&rel_str, &src, config)),
+            Err(e) => findings.push(Finding {
+                rule: "io-error",
+                path: rel_str,
+                line: 0,
+                col: 0,
+                message: format!("could not read file: {e}"),
+                snippet: String::new(),
+            }),
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    findings
+}

@@ -1,0 +1,145 @@
+//! `lv-lint` CLI: scan the workspace, apply the baseline, gate CI.
+
+use lv_lint::baseline::Baseline;
+use lv_lint::config::LintConfig;
+use lv_lint::{lint_workspace, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+lv-lint — workspace determinism & invariant analyzer
+
+USAGE:
+    lv-lint [OPTIONS]
+
+OPTIONS:
+    --root <dir>         Workspace root to scan (default: auto-detected)
+    --baseline <file>    Baseline file (default: <root>/lint-baseline.txt)
+    --update-baseline    Rewrite the baseline to absorb all current findings
+    --no-baseline        Ignore the baseline file entirely
+    --list-rules         Print the registered rules and exit
+    -h, --help           Print this help
+
+EXIT STATUS:
+    0  no findings beyond the baseline
+    1  new findings (or a malformed baseline)
+    2  bad usage
+
+Suppress a single finding with `// lv-lint: allow(<rule>)` on the
+offending line or the line above. See DESIGN.md §12.";
+
+fn find_root() -> PathBuf {
+    // Walk up from the CWD to the directory holding the workspace
+    // Cargo.toml (the one with a `crates/` sibling).
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut no_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--update-baseline" => update_baseline = true,
+            "--no-baseline" => no_baseline = true,
+            "--list-rules" => {
+                for r in rules::RULES {
+                    println!("{:<16} {}", r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = root.unwrap_or_else(find_root);
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+    let config = LintConfig::default_for_workspace();
+
+    let findings = lint_workspace(&root, &config);
+
+    if update_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("lv-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "lv-lint: baseline updated with {} finding(s) at {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if no_baseline || !baseline_path.is_file() {
+        Baseline::default()
+    } else {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lv-lint: cannot read {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("lv-lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let scanned = lv_lint::workspace_sources(&root).len();
+    let outcome = baseline.apply(findings);
+
+    for f in &outcome.new {
+        println!("{}", f.render());
+    }
+    for (rule, path) in &outcome.stale {
+        eprintln!("lv-lint: stale baseline entry for [{rule}] in {path} — remove it");
+    }
+    eprintln!(
+        "lv-lint: {} file(s) scanned, {} new finding(s), {} baselined, {} stale baseline entr{}",
+        scanned,
+        outcome.new.len(),
+        outcome.absorbed,
+        outcome.stale.len(),
+        if outcome.stale.len() == 1 { "y" } else { "ies" },
+    );
+
+    if outcome.new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("lv-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

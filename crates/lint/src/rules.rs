@@ -1,0 +1,879 @@
+//! The rule engine: named lexical rules over one file's token stream.
+//!
+//! Each rule is a pure function from a [`FileContext`] to findings.
+//! Rules see the significant (non-comment) token stream plus enough
+//! side information to honor the repo's escape hatches: `#[cfg(test)]`
+//! regions are skipped by every rule, and an inline
+//! `// lv-lint: allow(<rule>)` on the offending line (or the line
+//! above) suppresses a finding at the source.
+
+use crate::config::{crate_key_of, LintConfig};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The trimmed source line (used for baseline fingerprints).
+    pub snippet: String,
+}
+
+impl Finding {
+    /// Render as `path:line:col: [rule] message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Everything a rule may look at for one file.
+pub struct FileContext<'a> {
+    /// Repo-relative path (forward slashes).
+    pub path: &'a str,
+    /// Crate key (`kernel`, `radio`, …, `root`).
+    pub crate_key: &'a str,
+    /// The full token stream, comments included.
+    pub tokens: Vec<Token<'a>>,
+    /// Indices into `tokens` of significant (non-comment) tokens.
+    pub sig: Vec<usize>,
+    /// Source lines (for snippets).
+    lines: Vec<&'a str>,
+    /// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_spans: Vec<(u32, u32)>,
+    /// `(line, rule)` pairs allowed by inline directives; `"all"`
+    /// allows every rule on that line.
+    allows: Vec<(u32, String)>,
+}
+
+impl<'a> FileContext<'a> {
+    /// Lex `src` and precompute test spans and allow directives.
+    pub fn new(path: &'a str, src: &'a str) -> FileContext<'a> {
+        let tokens = tokenize(src);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let mut ctx = FileContext {
+            path,
+            crate_key: crate_key_of(path),
+            lines: src.lines().collect(),
+            test_spans: Vec::new(),
+            allows: Vec::new(),
+            tokens,
+            sig,
+        };
+        ctx.scan_test_spans();
+        ctx.scan_allow_directives();
+        ctx
+    }
+
+    /// The significant token at sig-position `i`, if any.
+    pub fn sig_tok(&self, i: usize) -> Option<&Token<'a>> {
+        self.sig.get(i).map(|&ti| &self.tokens[ti])
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// True when `rule` is allowed (suppressed) on `line` by an inline
+    /// directive on the same line or the line above.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| (*l == line || *l + 1 == line) && (r == rule || r == "all"))
+    }
+
+    /// The trimmed source text of `line`.
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    }
+
+    fn push(&self, out: &mut Vec<Finding>, rule: &'static str, tok: &Token<'_>, message: String) {
+        if self.is_test_line(tok.line) || self.is_allowed(rule, tok.line) {
+            return;
+        }
+        out.push(Finding {
+            rule,
+            path: self.path.to_owned(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            snippet: self.snippet(tok.line),
+        });
+    }
+
+    /// Find `#[cfg(test)]` / `#[cfg(any(test, …))]` / `#[test]`
+    /// attributes and record the line span of the item each one guards.
+    fn scan_test_spans(&mut self) {
+        let mut spans = Vec::new();
+        let mut i = 0usize;
+        while i < self.sig.len() {
+            if self.sig_text(i) == "#" && self.sig_text(i + 1) == "[" {
+                let close = self.matching(i + 1, "[", "]");
+                let mut is_test = false;
+                let mut negated = false;
+                for j in (i + 2)..close {
+                    match self.sig_text(j) {
+                        "test" => is_test = true,
+                        "not" => negated = true,
+                        _ => {}
+                    }
+                }
+                if is_test && !negated {
+                    // Skip any further attributes, then span the item.
+                    let mut k = close + 1;
+                    while self.sig_text(k) == "#" && self.sig_text(k + 1) == "[" {
+                        k = self.matching(k + 1, "[", "]") + 1;
+                    }
+                    let start_line = self.sig_tok(i).map(|t| t.line).unwrap_or(1);
+                    let end = self.item_end(k);
+                    let end_line = self
+                        .sig_tok(end.min(self.sig.len().saturating_sub(1)))
+                        .map(|t| t.line)
+                        .unwrap_or(start_line);
+                    spans.push((start_line, end_line));
+                    i = end + 1;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+            i += 1;
+        }
+        self.test_spans = spans;
+    }
+
+    /// Sig-index of the token closing the group opened at `open_idx`
+    /// (which must hold `open`). Returns the last sig index on
+    /// unbalanced input.
+    fn matching(&self, open_idx: usize, open: &str, close: &str) -> usize {
+        let mut depth = 0i32;
+        let mut i = open_idx;
+        while i < self.sig.len() {
+            let t = self.sig_text(i);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        self.sig.len().saturating_sub(1)
+    }
+
+    /// Sig-index of the last token of the item starting at `start`:
+    /// either the `;` ending a declaration or the `}` closing the first
+    /// top-level brace group.
+    fn item_end(&self, start: usize) -> usize {
+        let mut i = start;
+        while i < self.sig.len() {
+            match self.sig_text(i) {
+                "{" => return self.matching(i, "{", "}"),
+                ";" => return i,
+                _ => i += 1,
+            }
+        }
+        self.sig.len().saturating_sub(1)
+    }
+
+    /// Text of the significant token at sig-position `i` (empty past
+    /// the end).
+    fn sig_text(&self, i: usize) -> &str {
+        self.sig_tok(i).map(|t| t.text).unwrap_or("")
+    }
+
+    /// Parse `lv-lint: allow(rule[, rule…])` directives out of comments.
+    fn scan_allow_directives(&mut self) {
+        let mut allows = Vec::new();
+        for t in &self.tokens {
+            if !t.is_comment() {
+                continue;
+            }
+            let Some(at) = t.text.find("lv-lint:") else {
+                continue;
+            };
+            let rest = &t.text[at + "lv-lint:".len()..];
+            let Some(open) = rest.find("allow(") else {
+                continue;
+            };
+            let args = &rest[open + "allow(".len()..];
+            let Some(close) = args.find(')') else {
+                continue;
+            };
+            for rule in args[..close].split(',') {
+                allows.push((t.line, rule.trim().to_owned()));
+            }
+        }
+        self.allows = allows;
+    }
+}
+
+/// A registered rule.
+pub struct Rule {
+    /// Rule name, as used in configs, directives, and baselines.
+    pub name: &'static str,
+    /// One-line description (for `--list-rules`).
+    pub summary: &'static str,
+    /// The check itself.
+    pub check: fn(&FileContext<'_>, &mut Vec<Finding>),
+}
+
+/// Every rule the analyzer knows, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "wall-clock",
+        summary: "no Instant/SystemTime in sim-path crates (virtual time only)",
+        check: check_wall_clock,
+    },
+    Rule {
+        name: "os-random",
+        summary: "no OS/thread RNG or RandomState in sim-path crates (seeded SimRng only)",
+        check: check_os_random,
+    },
+    Rule {
+        name: "hash-type",
+        summary: "no std HashMap/HashSet in sim-path crates (BTreeMap/BTreeSet instead)",
+        check: check_hash_type,
+    },
+    Rule {
+        name: "hash-iter",
+        summary: "no iteration over HashMap/HashSet (order leaks hasher state)",
+        check: check_hash_iter,
+    },
+    Rule {
+        name: "no-panic",
+        summary: "no unwrap/expect/panic!/unreachable! in kernel and radio non-test code",
+        check: check_no_panic,
+    },
+    Rule {
+        name: "counter-name",
+        summary: "counter ids must be namespaced: `ns.name` (e.g. dyn.node_down)",
+        check: check_counter_name,
+    },
+    Rule {
+        name: "trace-coverage",
+        summary: "kernel functions counting dyn.* mutations must emit a trace event",
+        check: check_trace_coverage,
+    },
+    Rule {
+        name: "pub-doc",
+        summary: "pub items need doc comments",
+        check: check_pub_doc,
+    },
+];
+
+/// Look up a rule by name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Run every rule enabled for the file's crate, returning findings
+/// sorted by position.
+pub fn check_file(ctx: &FileContext<'_>, config: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for name in config.rules_for(ctx.crate_key) {
+        if let Some(rule) = rule_by_name(name) {
+            (rule.check)(ctx, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------
+// Determinism rules
+// ---------------------------------------------------------------------
+
+fn check_wall_clock(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for i in 0..ctx.sig.len() {
+        let Some(t) = ctx.sig_tok(i) else { break };
+        if t.kind == TokenKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            ctx.push(
+                out,
+                "wall-clock",
+                t,
+                format!(
+                    "`{}` is a wall-clock time source; simulation paths must use SimTime",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_os_random(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const BANNED: &[&str] = &[
+        "thread_rng",
+        "OsRng",
+        "RandomState",
+        "from_entropy",
+        "getrandom",
+    ];
+    for i in 0..ctx.sig.len() {
+        let Some(t) = ctx.sig_tok(i) else { break };
+        if t.kind == TokenKind::Ident && BANNED.contains(&t.text) {
+            ctx.push(
+                out,
+                "os-random",
+                t,
+                format!(
+                    "`{}` draws OS entropy; simulation paths must use the seeded SimRng streams",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_hash_type(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for i in 0..ctx.sig.len() {
+        let Some(t) = ctx.sig_tok(i) else { break };
+        if t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            ctx.push(
+                out,
+                "hash-type",
+                t,
+                format!(
+                    "`{}` iteration order depends on RandomState; this crate feeds serialized \
+                     output — use BTreeMap/BTreeSet",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_hash_iter(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const ITERATORS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "drain",
+        "into_iter",
+        "retain",
+    ];
+    // Pass 1: identifiers declared with a hash-collection type in this
+    // file — `name: HashMap<…>` fields/params and
+    // `let name = HashMap::new()` bindings.
+    let mut hashed: Vec<&str> = Vec::new();
+    for i in 0..ctx.sig.len() {
+        let t = ctx.sig_text_pub(i);
+        if t != "HashMap" && t != "HashSet" {
+            continue;
+        }
+        if i == 0 {
+            continue;
+        }
+        // Walk back over a `std::collections::` path prefix (colons are
+        // single-char tokens) and any `&`/`&mut` to reach the `:`
+        // (field/param) or `=` (binding) that names the identifier.
+        let mut j = i - 1;
+        while j >= 3
+            && ctx.sig_text_pub(j) == ":"
+            && ctx.sig_text_pub(j - 1) == ":"
+            && ctx
+                .sig_tok(j - 2)
+                .is_some_and(|p| p.kind == TokenKind::Ident)
+        {
+            j -= 3;
+        }
+        while j >= 1 && matches!(ctx.sig_text_pub(j), "&" | "mut") {
+            j -= 1;
+        }
+        let is_decl_colon =
+            ctx.sig_text_pub(j) == ":" && (j == 0 || ctx.sig_text_pub(j - 1) != ":");
+        let is_binding_eq = ctx.sig_text_pub(j) == "=";
+        if j >= 1
+            && (is_decl_colon || is_binding_eq)
+            && ctx
+                .sig_tok(j - 1)
+                .is_some_and(|p| p.kind == TokenKind::Ident)
+        {
+            hashed.push(ctx.sig_tok(j - 1).map(|p| p.text).unwrap_or(""));
+        }
+    }
+    if hashed.is_empty() {
+        return;
+    }
+    // Track the spans of `for … in <expr> {` headers: any hashed
+    // identifier named in the iterated expression is a finding
+    // (`for k in &m`, `for e in &mut self.m`, `for x in m`).
+    let mut for_header_until = 0usize; // sig index of the header's `{`
+                                       // Pass 2: iteration over any of those identifiers.
+    for i in 0..ctx.sig.len() {
+        if ctx.sig_text_pub(i) == "for" {
+            let mut j = i + 1;
+            while j < ctx.sig.len()
+                && ctx.sig_text_pub(j) != "in"
+                && ctx.sig_text_pub(j) != "{"
+                && ctx.sig_text_pub(j) != ";"
+            {
+                j += 1;
+            }
+            if ctx.sig_text_pub(j) == "in" {
+                let mut k = j + 1;
+                while k < ctx.sig.len() && ctx.sig_text_pub(k) != "{" {
+                    k += 1;
+                }
+                for_header_until = for_header_until.max(k);
+            }
+        }
+        let Some(t) = ctx.sig_tok(i) else { break };
+        if t.kind != TokenKind::Ident || !hashed.contains(&t.text) {
+            continue;
+        }
+        // `name.iter()` / `.keys()` / …
+        let is_method_iter = ctx.sig_text_pub(i + 1) == "."
+            && ITERATORS.contains(&ctx.sig_text_pub(i + 2))
+            && ctx.sig_text_pub(i + 3) == "(";
+        let is_for_iter = i < for_header_until;
+        if is_method_iter || is_for_iter {
+            ctx.push(
+                out,
+                "hash-iter",
+                t,
+                format!(
+                    "iterating hash-backed `{}` leaks hasher order; sort first or use a BTreeMap",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Robustness rules
+// ---------------------------------------------------------------------
+
+fn check_no_panic(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    for i in 0..ctx.sig.len() {
+        let Some(t) = ctx.sig_tok(i) else { break };
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `.unwrap()` / `.expect(`
+        if (t.text == "unwrap" || t.text == "expect")
+            && i >= 1
+            && ctx.sig_text_pub(i - 1) == "."
+            && ctx.sig_text_pub(i + 1) == "("
+        {
+            ctx.push(
+                out,
+                "no-panic",
+                t,
+                format!(
+                    "`.{}()` can abort a node mid-simulation; return a typed error or route \
+                     through an anomaly counter",
+                    t.text
+                ),
+            );
+        }
+        // `panic!(` and friends
+        if MACROS.contains(&t.text) && ctx.sig_text_pub(i + 1) == "!" {
+            ctx.push(
+                out,
+                "no-panic",
+                t,
+                format!(
+                    "`{}!` in kernel/radio non-test code; use typed errors or an anomaly path",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Convention rules
+// ---------------------------------------------------------------------
+
+/// Counter ids must look like `ns.part` (possibly more dots): a
+/// lowercase namespace, then one or more dot-separated components, as
+/// in `dyn.node_down`, `padding.capped`, `net.drop.NoRoute`.
+fn counter_name_ok(name: &str) -> bool {
+    let mut parts = name.split('.');
+    let Some(ns) = parts.next() else { return false };
+    let ns_ok = !ns.is_empty()
+        && ns.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && ns
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+    let mut rest = 0;
+    let rest_ok = parts.all(|p| {
+        rest += 1;
+        !p.is_empty() && p.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    });
+    ns_ok && rest_ok && rest >= 1
+}
+
+fn check_counter_name(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for i in 0..ctx.sig.len() {
+        let Some(t) = ctx.sig_tok(i) else { break };
+        if t.kind != TokenKind::Ident || (t.text != "incr" && t.text != "add") {
+            continue;
+        }
+        if i < 1 || ctx.sig_text_pub(i - 1) != "." || ctx.sig_text_pub(i + 1) != "(" {
+            continue;
+        }
+        let Some(arg) = ctx.sig_tok(i + 2) else {
+            continue;
+        };
+        if arg.kind != TokenKind::Str || !arg.text.starts_with('"') {
+            continue;
+        }
+        let lit = arg.text.trim_matches('"');
+        if !counter_name_ok(lit) {
+            ctx.push(
+                out,
+                "counter-name",
+                arg,
+                format!(
+                    "counter id `{lit}` is not namespaced; use `ns.name` like `dyn.node_down` \
+                     or `padding.capped`"
+                ),
+            );
+        }
+    }
+}
+
+fn check_trace_coverage(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    // Walk function bodies: a body that counts a `CounterId::Dyn*`
+    // state mutation must also emit a trace event (`.emit(`).
+    let mut i = 0usize;
+    while i < ctx.sig.len() {
+        if ctx.sig_text_pub(i) != "fn" {
+            i += 1;
+            continue;
+        }
+        // Body = first `{` at paren depth 0 after the signature.
+        let mut j = i + 1;
+        let mut paren = 0i32;
+        let body_open = loop {
+            if j >= ctx.sig.len() {
+                break None;
+            }
+            match ctx.sig_text_pub(j) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "{" if paren == 0 => break Some(j),
+                ";" if paren == 0 => break None, // trait method decl
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else {
+            i = j + 1;
+            continue;
+        };
+        let close = ctx.matching_pub(open, "{", "}");
+        let mut dyn_tok: Option<&Token<'_>> = None;
+        let mut has_emit = false;
+        for k in open..=close {
+            let Some(t) = ctx.sig_tok(k) else { break };
+            if t.text == "CounterId"
+                && ctx.sig_text_pub(k + 1) == ":"
+                && ctx.sig_text_pub(k + 2) == ":"
+                && ctx.sig_text_pub(k + 3).starts_with("Dyn")
+                && dyn_tok.is_none()
+            {
+                dyn_tok = ctx.sig_tok(k + 3);
+            }
+            if t.text == "emit" && ctx.sig_text_pub(k - 1) == "." {
+                has_emit = true;
+            }
+        }
+        if let (Some(t), false) = (dyn_tok, has_emit) {
+            ctx.push(
+                out,
+                "trace-coverage",
+                t,
+                format!(
+                    "this function counts `CounterId::{}` but emits no trace event; kernel \
+                     state mutations must be visible on the flight-recorder timeline",
+                    t.text
+                ),
+            );
+        }
+        i = close + 1;
+    }
+}
+
+fn check_pub_doc(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    // Binaries are not API surface: their `pub` is incidental.
+    if ctx.path.contains("/bin/") || ctx.path.ends_with("main.rs") {
+        return;
+    }
+    const ITEM_KEYWORDS: &[&str] = &[
+        "fn", "struct", "enum", "trait", "type", "mod", "static", "const", "union",
+    ];
+    // Track whether we're inside executable code: braces opened after a
+    // `fn`/`macro_rules` header are bodies, and everything nested in a
+    // body is a body.
+    let mut stack: Vec<bool> = Vec::new(); // true = body
+    let mut pending_body = false;
+    let mut i = 0usize;
+    while i < ctx.sig.len() {
+        let Some(t) = ctx.sig_tok(i) else { break };
+        match t.text {
+            "fn" | "macro_rules" => pending_body = true,
+            ";" => pending_body = false,
+            "{" => {
+                let in_body = stack.last().copied().unwrap_or(false);
+                stack.push(in_body || pending_body);
+                pending_body = false;
+            }
+            "}" => {
+                stack.pop();
+            }
+            "pub" if !stack.last().copied().unwrap_or(false) => {
+                // Skip restricted visibility: `pub(crate)` etc. are not
+                // public API.
+                let mut k = i + 1;
+                if ctx.sig_text_pub(k) == "(" {
+                    i += 1;
+                    continue;
+                }
+                // Skip qualifiers to reach the item keyword.
+                while matches!(ctx.sig_text_pub(k), "unsafe" | "async" | "extern")
+                    || (ctx.sig_text_pub(k) == "const" && ctx.sig_text_pub(k + 1) == "fn")
+                    || ctx.sig_tok(k).is_some_and(|t| t.kind == TokenKind::Str)
+                {
+                    k += 1;
+                }
+                let kw = ctx.sig_text_pub(k);
+                // `pub mod name;` is documented by the module file's
+                // own `//!` inner docs (the rustdoc gate checks those);
+                // only inline `pub mod name { … }` needs outer docs.
+                if kw == "mod" && ctx.sig_text_pub(k + 2) == ";" {
+                    i += 1;
+                    continue;
+                }
+                if ITEM_KEYWORDS.contains(&kw) && !has_doc_before(ctx, i) {
+                    let name = ctx.sig_text_pub(k + 1);
+                    ctx.push(
+                        out,
+                        "pub-doc",
+                        t,
+                        format!("public {kw} `{name}` has no doc comment"),
+                    );
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Is the `pub` at sig-position `i` preceded (skipping attributes) by a
+/// doc comment or a `#[doc…]` attribute?
+fn has_doc_before(ctx: &FileContext<'_>, i: usize) -> bool {
+    // Walk backwards over the *full* token stream from the pub token.
+    let Some(&pub_ti) = ctx.sig.get(i) else {
+        return false;
+    };
+    let mut ti = pub_ti;
+    loop {
+        if ti == 0 {
+            return false;
+        }
+        ti -= 1;
+        let t = &ctx.tokens[ti];
+        if t.kind == TokenKind::DocComment {
+            return true;
+        }
+        if t.is_comment() {
+            // Plain comments between docs and item are fine; keep going.
+            continue;
+        }
+        if t.text == "]" {
+            // Skip the attribute group; a `#[doc = "…"]` counts.
+            let mut depth = 1i32;
+            let mut saw_doc = false;
+            while ti > 0 && depth > 0 {
+                ti -= 1;
+                let a = &ctx.tokens[ti];
+                match a.text {
+                    "]" => depth += 1,
+                    "[" => depth -= 1,
+                    "doc" if a.kind == TokenKind::Ident => saw_doc = true,
+                    _ => {}
+                }
+            }
+            if saw_doc {
+                return true;
+            }
+            // Step over the leading `#`.
+            if ti > 0 && ctx.tokens[ti - 1].text == "#" {
+                ti -= 1;
+            }
+            continue;
+        }
+        return false;
+    }
+}
+
+impl<'a> FileContext<'a> {
+    /// Public sibling of `sig_text` for rule functions in this module's
+    /// tests and fixtures: text of the significant token at `i`.
+    pub fn sig_text_pub(&self, i: usize) -> &str {
+        self.sig_tok(i).map(|t| t.text).unwrap_or("")
+    }
+
+    /// Public sibling of `matching`: sig-index of the token closing the
+    /// group opened at `open_idx`.
+    pub fn matching_pub(&self, open_idx: usize, open: &str, close: &str) -> usize {
+        self.matching(open_idx, open, close)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CrateSet;
+    use crate::config::RuleConfig;
+
+    fn config_all(rule: &str) -> LintConfig {
+        LintConfig {
+            rules: vec![RuleConfig {
+                rule: rule.to_owned(),
+                crates: CrateSet::All,
+            }],
+        }
+    }
+
+    fn findings(rule: &str, path: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileContext::new(path, src);
+        check_file(&ctx, &config_all(rule))
+    }
+
+    #[test]
+    fn wall_clock_flags_instant_not_comments() {
+        let src = "// Instant::now in a comment is fine\nfn f() { let t = Instant::now(); }\n";
+        let f = findings("wall-clock", "crates/sim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(findings("no-panic", "crates/kernel/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
+        assert_eq!(findings("no-panic", "crates/kernel/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_directive_suppresses_same_and_next_line() {
+        let same = "fn f() { x.unwrap(); } // lv-lint: allow(no-panic)\n";
+        assert!(findings("no-panic", "crates/kernel/src/x.rs", same).is_empty());
+        let above = "// lv-lint: allow(no-panic)\nfn f() { x.unwrap(); }\n";
+        assert!(findings("no-panic", "crates/kernel/src/x.rs", above).is_empty());
+        let wrong = "// lv-lint: allow(wall-clock)\nfn f() { x.unwrap(); }\n";
+        assert_eq!(
+            findings("no-panic", "crates/kernel/src/x.rs", wrong).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.expect_err(\"e\"); }\n";
+        assert!(findings("no-panic", "crates/kernel/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn counter_names_validated() {
+        let good = "fn f(c: &mut Counters) { c.incr(\"dyn.node_down\"); c.add(\"net.drop.NoRoute\", 2); }\n";
+        assert!(findings("counter-name", "crates/net/src/x.rs", good).is_empty());
+        let bad = "fn f(c: &mut Counters) { c.incr(\"NodeDown\"); }\n";
+        let f = findings("counter-name", "crates/net/src/x.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("NodeDown"));
+    }
+
+    #[test]
+    fn hash_iter_catches_method_and_for_loops() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S) { for k in s.m.keys() { use_it(k); } }\n\
+                   fn g(m2: &HashMap<u32, u32>) { let _ = m2.len(); }\n";
+        let f = findings("hash-iter", "crates/testbed/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn pub_doc_requires_docs_outside_bodies() {
+        let src = "/// Documented.\npub fn a() {}\npub fn b() {}\n\
+                   fn c() { let pub_ish = 1; }\n";
+        let f = findings("pub-doc", "crates/sim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains('b'));
+    }
+
+    #[test]
+    fn pub_doc_skips_file_mod_decls_but_not_inline_mods() {
+        let decl = "pub mod network;\n";
+        assert!(findings("pub-doc", "crates/kernel/src/lib.rs", decl).is_empty());
+        let inline = "pub mod helpers { pub fn x() {} }\n";
+        let f = findings("pub-doc", "crates/kernel/src/lib.rs", inline);
+        assert!(f.iter().any(|f| f.message.contains("mod `helpers`")));
+    }
+
+    #[test]
+    fn pub_doc_accepts_doc_attr_and_skips_pub_crate() {
+        let src = "#[doc = \"x\"]\npub fn a() {}\npub(crate) fn b() {}\npub use other::Thing;\n";
+        assert!(findings("pub-doc", "crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_coverage_pairs_dyn_counters_with_emit() {
+        let bad = "fn f(&mut self) { self.counters.incr_id(CounterId::DynNodeDown); }\n";
+        let f = findings("trace-coverage", "crates/kernel/src/x.rs", bad);
+        assert_eq!(f.len(), 1);
+        let good = "fn f(&mut self) { self.counters.incr_id(CounterId::DynNodeDown); \
+                    self.trace.emit(now, id, lvl, msg); }\n";
+        assert!(findings("trace-coverage", "crates/kernel/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn findings_render_with_positions() {
+        let f = findings(
+            "wall-clock",
+            "crates/sim/src/x.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert_eq!(f.len(), 1);
+        let line = f[0].render();
+        assert!(line.starts_with("crates/sim/src/x.rs:1:"));
+        assert!(line.contains("[wall-clock]"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Lint self-tests against the checked-in fixture files.
+//!
+//! Each fixture under `fixtures/` carries, for one rule, a positive
+//! case (a violation the rule must find), an allowed case (suppressed
+//! by an inline `lv-lint: allow(...)` directive), and where relevant a
+//! test-region case (exempt). The fixtures live outside `src/` so the
+//! workspace scan never picks them up; these tests feed them through
+//! `lint_source` with a hand-picked crate path and assert the exact
+//! finding lines. A final test exercises the baseline flow end to end
+//! on real fixture findings.
+
+use lv_lint::baseline::Baseline;
+use lv_lint::config::{CrateSet, LintConfig, RuleConfig};
+use lv_lint::lint_source;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn single_rule(rule: &str) -> LintConfig {
+    LintConfig {
+        rules: vec![RuleConfig {
+            rule: rule.to_owned(),
+            crates: CrateSet::All,
+        }],
+    }
+}
+
+/// Lint `fixtures/<name>` with one rule and return the finding lines.
+fn finding_lines(name: &str, rule: &str, as_path: &str) -> Vec<u32> {
+    let src = fixture(name);
+    lint_source(as_path, &src, &single_rule(rule))
+        .iter()
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let lines = finding_lines("wall_clock.rs", "wall-clock", "crates/sim/src/fixture.rs");
+    assert_eq!(lines, vec![5], "positive hit; allow + test region exempt");
+}
+
+#[test]
+fn os_random_fixture() {
+    let lines = finding_lines("os_random.rs", "os-random", "crates/radio/src/fixture.rs");
+    assert_eq!(lines, vec![5, 10]);
+}
+
+#[test]
+fn hash_type_fixture() {
+    let lines = finding_lines("hash_type.rs", "hash-type", "crates/net/src/fixture.rs");
+    assert_eq!(lines, vec![5]);
+}
+
+#[test]
+fn hash_iter_fixture() {
+    let lines = finding_lines("hash_iter.rs", "hash-iter", "crates/testbed/src/fixture.rs");
+    assert_eq!(
+        lines,
+        vec![10, 14],
+        "method iteration and for-loop iteration; allow + keyed access exempt"
+    );
+}
+
+#[test]
+fn no_panic_fixture() {
+    let lines = finding_lines("no_panic.rs", "no-panic", "crates/kernel/src/fixture.rs");
+    assert_eq!(
+        lines,
+        vec![5, 9, 13, 19],
+        "unwrap, expect, panic!, unreachable!; allow + unwrap_or + tests exempt"
+    );
+}
+
+#[test]
+fn counter_name_fixture() {
+    let lines = finding_lines(
+        "counter_name.rs",
+        "counter-name",
+        "crates/net/src/fixture.rs",
+    );
+    assert_eq!(lines, vec![5, 9]);
+}
+
+#[test]
+fn trace_coverage_fixture() {
+    let lines = finding_lines(
+        "trace_coverage.rs",
+        "trace-coverage",
+        "crates/kernel/src/fixture.rs",
+    );
+    assert_eq!(lines, vec![6]);
+}
+
+#[test]
+fn pub_doc_fixture() {
+    let lines = finding_lines("pub_doc.rs", "pub-doc", "crates/sim/src/fixture.rs");
+    assert_eq!(
+        lines,
+        vec![7, 9],
+        "undocumented fn + struct; docs, attr docs, pub(crate), mod decl exempt"
+    );
+}
+
+/// The baseline flow on real findings: grandfather the fixture's
+/// current violations, then verify (a) a re-scan is clean through the
+/// baseline, (b) a *new* violation still surfaces, (c) fixing a
+/// grandfathered site turns its entry stale.
+#[test]
+fn baseline_grandfathers_fixture_findings() {
+    let src = fixture("no_panic.rs");
+    let path = "crates/kernel/src/fixture.rs";
+    let config = single_rule("no-panic");
+    let findings = lint_source(path, &src, &config);
+    assert_eq!(findings.len(), 4);
+
+    let baseline = Baseline::parse(&Baseline::render(&findings)).expect("roundtrip");
+
+    // (a) Unchanged source: everything absorbed.
+    let again = lint_source(path, &src, &config);
+    let outcome = baseline.apply(again);
+    assert!(outcome.new.is_empty());
+    assert_eq!(outcome.absorbed, 4);
+    assert!(outcome.stale.is_empty());
+
+    // (b) A new violation on top still fails the gate.
+    let more = format!("{src}\nfn extra(y: Option<u32>) -> u32 {{ y.unwrap() }}\n");
+    let outcome = baseline.apply(lint_source(path, &more, &config));
+    assert_eq!(outcome.new.len(), 1);
+    assert!(outcome.new[0].snippet.contains("extra"));
+
+    // (c) Fixing a grandfathered site leaves a stale entry to clean up.
+    let fixed = src.replacen("x.unwrap() // finding (line 5)", "x.unwrap_or(0)", 1);
+    let outcome = baseline.apply(lint_source(path, &fixed, &config));
+    assert!(outcome.new.is_empty());
+    assert_eq!(outcome.absorbed, 3);
+    assert_eq!(outcome.stale.len(), 1);
+}
+
+/// The binary contract the CI gate relies on: exit 0 on a clean tree,
+/// exit nonzero once a violation is injected, exit 0 again when the
+/// violation is baselined.
+#[test]
+fn binary_gates_on_injected_violation() {
+    use std::process::Command;
+    let bin = env!("CARGO_BIN_EXE_lv-lint");
+    let root = std::env::temp_dir().join(format!("lv-lint-gate-{}", std::process::id()));
+    let src_dir = root.join("crates").join("kernel").join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write");
+
+    // Clean tree: documented module, no violations.
+    std::fs::write(src_dir.join("lib.rs"), "//! Clean.\nfn ok() {}\n").expect("write");
+    let run = |args: &[&str]| {
+        Command::new(bin)
+            .arg("--root")
+            .arg(&root)
+            .args(args)
+            .output()
+            .expect("run lv-lint")
+    };
+    assert!(
+        run(&["--no-baseline"]).status.success(),
+        "clean tree must pass"
+    );
+
+    // Inject a violation: the gate must go red.
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "//! Dirty.\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .expect("write");
+    let out = run(&["--no-baseline"]);
+    assert!(
+        !out.status.success(),
+        "injected violation must fail the gate"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[no-panic]"), "stdout: {stdout}");
+
+    // Grandfather it: green again, and the report says one baselined.
+    assert!(run(&["--update-baseline"]).status.success());
+    assert!(run(&[]).status.success(), "baselined finding must pass");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// `--list-rules` names every registered rule (the doc cross-checks
+/// DESIGN.md §12 against this).
+#[test]
+fn binary_lists_all_rules() {
+    use std::process::Command;
+    let out = Command::new(env!("CARGO_BIN_EXE_lv-lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("run lv-lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in lv_lint::rules::RULES {
+        assert!(stdout.contains(rule.name), "missing {}", rule.name);
+    }
+}
+
+/// Fixtures must stay violation-free for every rule *other* than their
+/// own: each file is a minimal, single-rule specimen, so cross-rule
+/// noise (say a stray `unwrap` in the hash-iter fixture) would make the
+/// per-rule assertions above misleading.
+#[test]
+fn fixtures_are_single_rule_specimens() {
+    let cases: &[(&str, &str)] = &[
+        ("wall_clock.rs", "wall-clock"),
+        ("os_random.rs", "os-random"),
+        ("hash_type.rs", "hash-type"),
+        ("hash_iter.rs", "hash-iter"),
+        ("no_panic.rs", "no-panic"),
+        ("counter_name.rs", "counter-name"),
+        ("trace_coverage.rs", "trace-coverage"),
+        ("pub_doc.rs", "pub-doc"),
+    ];
+    for (file, own_rule) in cases {
+        let src = fixture(file);
+        for rule in lv_lint::rules::RULES {
+            if rule.name == *own_rule || rule.name == "pub-doc" {
+                // pub-doc intentionally has no opinion here: fixtures
+                // use private items except in its own specimen.
+                continue;
+            }
+            if *file == "hash_iter.rs" && rule.name == "hash-type" {
+                // The hash-iter fixture models a harness crate, where
+                // owning a HashMap is legal (hash-type is scoped to
+                // sim-path crates) and only iterating it is flagged.
+                continue;
+            }
+            let findings = lint_source(
+                "crates/kernel/src/fixture.rs",
+                &src,
+                &single_rule(rule.name),
+            );
+            assert!(
+                findings.is_empty(),
+                "{file} trips foreign rule {}: {:?}",
+                rule.name,
+                findings
+            );
+        }
+    }
+}

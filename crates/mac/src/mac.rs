@@ -10,7 +10,7 @@ use crate::csma::{CsmaConfig, CsmaMachine, MacAction};
 use crate::frame::{Frame, FrameKind, BROADCAST};
 use crate::queue::TxQueue;
 use lv_sim::{CounterId, Counters, SimRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A frame handed up to the network layer, with the PHY metadata the
@@ -39,7 +39,7 @@ pub struct Mac {
     /// Last sequence number delivered upward, per source — suppresses the
     /// duplicate a retransmission causes when the ack (not the data) was
     /// lost.
-    last_delivered: HashMap<u16, u8>,
+    last_delivered: BTreeMap<u16, u8>,
     /// Per-node link-layer counters (attempts, backoffs, CCA outcomes,
     /// retries, drops) — the MAC slice of the node's flight recorder.
     counters: Counters,
@@ -53,7 +53,7 @@ impl Mac {
             csma: CsmaMachine::new(cfg),
             queue: TxQueue::new(queue_capacity),
             next_seq: 0,
-            last_delivered: HashMap::new(),
+            last_delivered: BTreeMap::new(),
             counters: Counters::new(),
         }
     }

@@ -20,7 +20,7 @@ use crate::propagation::{LogDistance, PropagationConfig};
 use crate::rssi::rssi_register;
 use crate::units::{Dbm, Meters, Position};
 use lv_sim::SimRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Hard bound on `|SimRng::gaussian()|`. Box–Muller draws
 /// `sqrt(-2·ln u1)·cos θ` with `u1 = (1 − unit()).max(f64::MIN_POSITIVE)`
@@ -112,11 +112,11 @@ pub struct Medium {
     sensitivity: Dbm,
     /// Power above which CCA reports the channel busy.
     cca_threshold: Dbm,
-    overrides: HashMap<(u16, u16), LinkOverride>,
+    overrides: BTreeMap<(u16, u16), LinkOverride>,
     /// Per-channel noise-floor offsets in dB (bursty interference
     /// windows). Never consulted by the reachability cache: noise moves
     /// SNR, not the sync threshold, so candidate lists stay valid.
-    channel_noise: HashMap<u8, f64>,
+    channel_noise: BTreeMap<u8, f64>,
     /// Nodes whose radio is administratively dead (failure injection).
     dead: Vec<bool>,
     /// Memoized link gains + candidate lists; `None` runs every query
@@ -142,8 +142,8 @@ impl Medium {
             noise_floor: Dbm(-98.0),
             sensitivity: Dbm(-95.0),
             cca_threshold: Dbm(-77.0),
-            overrides: HashMap::new(),
-            channel_noise: HashMap::new(),
+            overrides: BTreeMap::new(),
+            channel_noise: BTreeMap::new(),
             dead: vec![false; n],
             cache: None,
         };
@@ -261,7 +261,10 @@ impl Medium {
             return;
         }
         let link = self.qualify(from, to);
-        let list = &mut self.cache.as_mut().expect("checked above").candidates[from as usize];
+        let Some(cache) = self.cache.as_mut() else {
+            return;
+        };
+        let list = &mut cache.candidates[from as usize];
         let idx = list.partition_point(|c| c.to < to);
         let present = list.get(idx).is_some_and(|c| c.to == to);
         match (link, present) {
@@ -293,20 +296,19 @@ impl Medium {
     pub fn set_position(&mut self, id: u16, pos: Position) {
         let old = self.positions[id as usize];
         self.positions[id as usize] = pos;
-        if self.cache.is_none() {
-            return;
-        }
-        let (r, mut affected) = {
-            let cache = self.cache.as_mut().expect("checked above");
-            cache.grid.move_node(id, old, pos);
-            let mut affected: Vec<u16> = Vec::new();
-            cache
-                .grid
-                .for_each_in_square(old, cache.max_range, |s| affected.push(s));
-            cache
-                .grid
-                .for_each_in_square(pos, cache.max_range, |s| affected.push(s));
-            (cache.max_range, affected)
+        let (r, mut affected) = match self.cache.as_mut() {
+            None => return,
+            Some(cache) => {
+                cache.grid.move_node(id, old, pos);
+                let mut affected: Vec<u16> = Vec::new();
+                cache
+                    .grid
+                    .for_each_in_square(old, cache.max_range, |s| affected.push(s));
+                cache
+                    .grid
+                    .for_each_in_square(pos, cache.max_range, |s| affected.push(s));
+                (cache.max_range, affected)
+            }
         };
         for &(a, b) in self.overrides.keys() {
             if b == id {
@@ -315,11 +317,13 @@ impl Medium {
         }
         affected.sort_unstable();
         affected.dedup();
-        let list = {
-            let cache = self.cache.as_ref().expect("checked above");
-            self.build_sender_list(id, &cache.grid, r)
+        let list = match self.cache.as_ref() {
+            None => return,
+            Some(cache) => self.build_sender_list(id, &cache.grid, r),
         };
-        self.cache.as_mut().expect("checked above").candidates[id as usize] = list;
+        if let Some(cache) = self.cache.as_mut() {
+            cache.candidates[id as usize] = list;
+        }
         for s in affected {
             if s != id {
                 self.requalify_link(s, id);

@@ -1233,6 +1233,10 @@ pub fn dynamics_soak(seed: u64) -> DynamicsSoakReport {
 
     let cfg = ScenarioConfig::new(Topology::eight_hop_corridor(), seed);
     let mut s = Scenario::build(cfg);
+    // The soak doubles as the runtime-auditor's integration run: every
+    // dynamics action triggers an invariant sweep (time monotonicity,
+    // stale transmissions, resource-ledger balance).
+    s.net.set_audit(true);
     for i in 0..s.net.node_count() as u16 {
         s.net.node_mut(i).stack.config_mut().blacklist_below = Some(0.35);
     }
@@ -1322,6 +1326,9 @@ pub fn dynamics_soak(seed: u64) -> DynamicsSoakReport {
         });
         s.net.run_for(SimDuration::from_secs(2));
     }
+    // One final sweep so end-of-run imbalances are caught even if the
+    // last dynamics action fired long before the horizon.
+    let _ = s.net.check_invariants();
     let sum_nodes = |name: &str| -> u64 {
         (0..s.net.node_count() as u16)
             .map(|i| s.net.node(i).stack.counters().get(name))
@@ -1335,6 +1342,7 @@ pub fn dynamics_soak(seed: u64) -> DynamicsSoakReport {
         blacklists: sum_nodes("net.neighbor_blacklisted"),
         dyn_trace_events: s.net.counters.sum_prefix("dyn."),
         digest: counters_digest(&s.net),
+        audit_violations: s.net.audit_violations().len() as u64,
         rounds,
     }
 }

@@ -186,6 +186,10 @@ pub struct DynamicsSoakReport {
     pub dyn_trace_events: u64,
     /// Counter digest of the whole run (replay determinism handle).
     pub digest: String,
+    /// Runtime invariant violations observed by the kernel auditor
+    /// (`lv_kernel::audit`) over the soak. Must be zero; the nightly
+    /// gate fails otherwise.
+    pub audit_violations: u64,
 }
 
 /// Pretty-print any serializable row set as indented JSON lines.
