@@ -10,6 +10,7 @@ use crate::observe::NodeDelta;
 use crate::wire::{HopRecord, PingRound, WireLogEntry, WireNeighbor};
 use lv_net::packet::Port;
 use lv_sim::{Counters, SimDuration, SimTime, TraceEvent};
+use serde::{Deserialize, Serialize};
 
 /// The interpreter's listening port on the workstation bridge node.
 pub const WORKSTATION_PORT: Port = Port(4);
@@ -24,7 +25,7 @@ pub fn session_port(session: u16) -> Port {
 }
 
 /// A user-level command.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Command {
     /// Show power/channel/queue/neighbor-count in one round trip.
     Status,
@@ -124,7 +125,7 @@ impl Command {
 }
 
 /// One node's row in a group status survey.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatusRow {
     /// Responding node.
     pub node: u16,
@@ -139,7 +140,7 @@ pub struct StatusRow {
 }
 
 /// A finished ping command.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PingOutcome {
     /// Destination node.
     pub target: u16,
@@ -164,7 +165,7 @@ impl PingOutcome {
 
 /// One hop of a finished traceroute, with the time its report reached
 /// the workstation (measured from command issue — the Fig. 5 metric).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceHop {
     /// The report.
     pub record: HopRecord,
@@ -173,7 +174,7 @@ pub struct TraceHop {
 }
 
 /// A finished traceroute command.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceOutcome {
     /// Carrying protocol name ("geographic forwarding").
     pub protocol: Option<String>,
@@ -196,7 +197,7 @@ impl TraceOutcome {
 }
 
 /// What a command produced.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CommandResult {
     /// Success without data.
     Ok,
@@ -232,7 +233,11 @@ pub enum CommandResult {
 }
 
 /// A command execution, as returned by the workstation driver.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — the sim/live parity harness uses
+/// it to assert that both transport backends produce identical
+/// executions, and the wire protocol ships it whole to thin clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Execution {
     /// The command issued.
     pub command: Command,

@@ -22,10 +22,15 @@
 //! reports). The reliable one-hop command protocol with loss-adaptive
 //! batching lives in [`protocol`]; the message formats in [`wire`].
 //!
+//! Diagnosis sessions reach the deployment through the [`transport`]
+//! seam: the deterministic in-process backend lives here, a real UDP
+//! backend in the `lv-serve` crate, and both carry the [`session`]
+//! wire protocol.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
-//! use liteview::{install_suite, Workstation};
+//! use liteview::{install_suite, CommandRequest, Workstation};
 //! use lv_kernel::Network;
 //! use lv_radio::{Medium, PropagationConfig, Position};
 //! use lv_sim::SimDuration;
@@ -42,7 +47,7 @@
 //!
 //! let mut ws = Workstation::install(&mut net, 0);
 //! ws.cd(&net, "192.168.0.1").unwrap();
-//! let exec = ws.ping(&mut net, 1, 1, 32, None).unwrap();
+//! let exec = ws.exec(&mut net, CommandRequest::ping(1, 1, 32, None)).unwrap();
 //! println!("{:#?}", exec.result);
 //! for line in ws.transcript() {
 //!     println!("{line}");
@@ -56,8 +61,10 @@ pub mod observe;
 pub mod output;
 pub mod ping;
 pub mod protocol;
+pub mod session;
 pub mod shell;
 pub mod traceroute;
+pub mod transport;
 pub mod wire;
 pub mod workstation;
 
@@ -68,9 +75,9 @@ pub use commands::{
 pub use controller::RuntimeController;
 pub use observe::{ExecutionRecord, NodeDelta, ObservabilityReport};
 pub use ping::PingProcess;
+pub use session::{Request, RequestBody, Response, ResponseBody, SessionHost};
 pub use traceroute::{TrHopProcess, TrSourceProcess};
-#[allow(deprecated)]
-pub use workstation::ShellError;
+pub use transport::{PeerId, SimTransport, Transport, TransportError};
 pub use workstation::{CommandRequest, ExecError, ExecTarget, Workstation};
 
 use lv_kernel::Network;

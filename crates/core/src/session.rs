@@ -1,0 +1,579 @@
+//! The diagnosis-session wire protocol and its shared dispatcher.
+//!
+//! A *session* is one user logged into the hosted deployment: it owns a
+//! current node (the LiteOS `cd` state) and issues parsed
+//! [`ShellCommand`]s. The same protocol serves two front ends:
+//!
+//! * the interactive REPL in `examples/shell.rs` drives a local
+//!   [`SessionHost`] directly (no sockets, virtual time only);
+//! * the `lv-serve` daemon hosts one [`SessionHost`] behind a
+//!   [`crate::transport::Transport`] and multiplexes many concurrent
+//!   remote sessions over it.
+//!
+//! Both speak [`Request`]/[`Response`] — JSON messages wrapped in the
+//! [`crate::transport::frame`] length-prefix framing — so the shell
+//! and the daemon cannot drift apart: they are literally the same
+//! types and the same `apply` function.
+//!
+//! Node names are resolved *server-side*, against the hosted network,
+//! exactly like [`ShellCommand::resolve`] does for the local shell.
+
+use crate::commands::{Command, Execution};
+use crate::output;
+use crate::shell::ShellCommand;
+use crate::transport::{frame, PeerId};
+use crate::workstation::{CommandRequest, ExecError, Workstation};
+use lv_kernel::{shell_path, Network};
+use lv_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Wire protocol revision; bumped on incompatible changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One framed client → server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen session id (unique per client endpoint).
+    pub session: u32,
+    /// Monotonically increasing per-session sequence number; the
+    /// matching [`Response`] echoes it, and servers use it to dedupe
+    /// retransmitted requests.
+    pub seq: u32,
+    /// The verb.
+    pub body: RequestBody,
+}
+
+/// What a session asks the host to do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Open (or reset) the session.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Log into a node by name (`cd 192.168.0.2`).
+    Cd {
+        /// Node name or full `/sn01/...` path tail.
+        node: String,
+    },
+    /// Report the session's current node path.
+    Pwd,
+    /// Execute a diagnosis command on the session's current node
+    /// (ping, traceroute, list, power, survey, …).
+    Exec {
+        /// The parsed command; names resolved server-side.
+        command: ShellCommand,
+    },
+    /// Advance virtual time (sim-hosted deployments only).
+    Run {
+        /// Nanoseconds of virtual time to advance.
+        nanos: u64,
+    },
+    /// Export the network-wide observability report.
+    Report,
+    /// Close the session.
+    Bye,
+}
+
+/// One framed server → client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of [`Request::session`].
+    pub session: u32,
+    /// Echo of [`Request::seq`].
+    pub seq: u32,
+    /// The outcome.
+    pub body: ResponseBody,
+}
+
+/// What the host answered.
+//
+// `Done` dwarfs the other variants, but responses are one-at-a-time
+// wire messages, never stored in bulk — and the vendored serde has no
+// `Box<T>` impls, so boxing the execution would break the codec.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponseBody {
+    /// Session opened.
+    Welcome {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Nodes in the hosted deployment.
+        nodes: u64,
+        /// The workstation's bridge mote.
+        bridge: u16,
+        /// Current virtual time, nanoseconds.
+        now_ns: u64,
+    },
+    /// `cd`/`pwd` result.
+    Cwd {
+        /// Resolved node id.
+        node: u16,
+        /// Shell path (e.g. `/sn01/192.168.0.2`).
+        path: String,
+    },
+    /// A command finished executing.
+    Done {
+        /// The full execution record (result, timeline, deltas).
+        execution: Execution,
+        /// Paper-style rendered output lines.
+        lines: Vec<String>,
+    },
+    /// Virtual time advanced.
+    Ran {
+        /// New virtual time, nanoseconds.
+        now_ns: u64,
+    },
+    /// The observability report, JSON-encoded.
+    Report {
+        /// Output of [`crate::ObservabilityReport::to_json`].
+        json: String,
+    },
+    /// Session closed.
+    Bye,
+    /// The request failed; the session (if any) is still open.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Errors turning bytes into protocol messages and back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The length-prefix framing was truncated or oversized.
+    Frame(frame::FrameError),
+    /// The payload was not valid protocol JSON.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Frame(e) => write!(f, "bad frame: {e:?}"),
+            ProtoError::Malformed(e) => write!(f, "malformed message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn encode_json<T: Serialize>(msg: &T) -> Vec<u8> {
+    let json = serde_json::to_string(msg).expect("protocol types always serialize");
+    frame::encode(json.as_bytes())
+}
+
+fn decode_json<T: Deserialize>(bytes: &[u8]) -> Result<T, ProtoError> {
+    let (payload, _) = frame::decode(bytes).map_err(ProtoError::Frame)?;
+    let text = std::str::from_utf8(payload).map_err(|e| ProtoError::Malformed(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| ProtoError::Malformed(format!("{e:?}")))
+}
+
+impl Request {
+    /// Serialize into one framed wire message.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_json(self)
+    }
+
+    /// Parse one framed wire message.
+    pub fn decode(bytes: &[u8]) -> Result<Request, ProtoError> {
+        decode_json(bytes)
+    }
+}
+
+impl Response {
+    /// Serialize into one framed wire message.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_json(self)
+    }
+
+    /// Parse one framed wire message.
+    pub fn decode(bytes: &[u8]) -> Result<Response, ProtoError> {
+        decode_json(bytes)
+    }
+}
+
+/// Per-session server-side state.
+#[derive(Debug, Clone, Default)]
+pub struct SessionState {
+    /// The node this session is logged into (`cd` target), if any.
+    pub cwd: Option<u16>,
+}
+
+/// The server half of the session protocol: owns per-session state and
+/// applies [`Request`]s to a hosted deployment.
+///
+/// Deliberately deterministic — no clocks, no randomness, sessions in
+/// a `BTreeMap` — so the same host drives both the digest-stable sim
+/// backend and the live daemon (which layers rate limits and idle
+/// timeouts on top, where wall-clock time is legitimate).
+#[derive(Default)]
+pub struct SessionHost {
+    sessions: BTreeMap<(PeerId, u32), SessionState>,
+}
+
+fn exec_error(e: &ExecError) -> String {
+    match e {
+        ExecError::NoSuchNode(name) => format!("no such node: {name}"),
+        ExecError::NoCwd => "no current node — cd into one first".to_owned(),
+        ExecError::UnknownNode(id) => format!("unknown node id: {id}"),
+    }
+}
+
+impl SessionHost {
+    /// An empty host.
+    pub fn new() -> SessionHost {
+        SessionHost::default()
+    }
+
+    /// Open sessions, in deterministic key order.
+    pub fn session_keys(&self) -> Vec<(PeerId, u32)> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Forcibly drop a session (idle-timeout eviction). Returns whether
+    /// it existed.
+    pub fn evict(&mut self, peer: PeerId, session: u32) -> bool {
+        self.sessions.remove(&(peer, session)).is_some()
+    }
+
+    /// Apply one request from `peer` against the hosted deployment and
+    /// produce the response to send back.
+    pub fn apply(
+        &mut self,
+        net: &mut Network,
+        ws: &mut Workstation,
+        peer: PeerId,
+        req: &Request,
+    ) -> Response {
+        let key = (peer, req.session);
+        let reply = |body: ResponseBody| Response {
+            session: req.session,
+            seq: req.seq,
+            body,
+        };
+        match &req.body {
+            RequestBody::Hello { version } => {
+                if *version != PROTOCOL_VERSION {
+                    return reply(ResponseBody::Error {
+                        message: format!(
+                            "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+                        ),
+                    });
+                }
+                self.sessions.insert(key, SessionState::default());
+                reply(ResponseBody::Welcome {
+                    version: PROTOCOL_VERSION,
+                    nodes: net.node_count() as u64,
+                    bridge: ws.bridge(),
+                    now_ns: net.now().as_nanos(),
+                })
+            }
+            RequestBody::Bye => {
+                self.sessions.remove(&key);
+                reply(ResponseBody::Bye)
+            }
+            body => {
+                if !self.sessions.contains_key(&key) {
+                    return reply(ResponseBody::Error {
+                        message: "unknown session — send Hello first".to_owned(),
+                    });
+                }
+                match body {
+                    RequestBody::Cd { node } => match net.resolve(node) {
+                        Some(id) => {
+                            if let Some(state) = self.sessions.get_mut(&key) {
+                                state.cwd = Some(id);
+                            }
+                            reply(ResponseBody::Cwd {
+                                node: id,
+                                path: shell_path(&net.node(id).name),
+                            })
+                        }
+                        None => reply(ResponseBody::Error {
+                            message: format!("no such node: {node}"),
+                        }),
+                    },
+                    RequestBody::Pwd => {
+                        let cwd = self.sessions.get(&key).and_then(|s| s.cwd);
+                        match cwd {
+                            Some(id) => reply(ResponseBody::Cwd {
+                                node: id,
+                                path: shell_path(&net.node(id).name),
+                            }),
+                            None => reply(ResponseBody::Error {
+                                message: exec_error(&ExecError::NoCwd),
+                            }),
+                        }
+                    }
+                    RequestBody::Exec { command } => {
+                        let resolved = match command.resolve(net) {
+                            Ok(c) => c,
+                            Err(e) => return reply(ResponseBody::Error { message: e.0 }),
+                        };
+                        // Aim at the broadcast group for surveys, else at
+                        // the *session's* current node — many sessions
+                        // share one workstation, so the workstation's own
+                        // cwd is never used here.
+                        let request = match resolved {
+                            Command::GroupStatus => CommandRequest::survey(),
+                            c => {
+                                let cwd = self.sessions.get(&key).and_then(|s| s.cwd);
+                                match cwd {
+                                    Some(id) => CommandRequest::new(c).on(id),
+                                    None => {
+                                        return reply(ResponseBody::Error {
+                                            message: exec_error(&ExecError::NoCwd),
+                                        })
+                                    }
+                                }
+                            }
+                        };
+                        match ws.exec(net, request) {
+                            Ok(execution) => {
+                                let lines = output::render(net, &execution);
+                                reply(ResponseBody::Done { execution, lines })
+                            }
+                            Err(e) => reply(ResponseBody::Error {
+                                message: exec_error(&e),
+                            }),
+                        }
+                    }
+                    RequestBody::Run { nanos } => {
+                        net.run_for(SimDuration::from_nanos(*nanos));
+                        reply(ResponseBody::Ran {
+                            now_ns: net.now().as_nanos(),
+                        })
+                    }
+                    RequestBody::Report => reply(ResponseBody::Report {
+                        json: ws.report(net).to_json(),
+                    }),
+                    RequestBody::Hello { .. } | RequestBody::Bye => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::install_suite;
+    use lv_kernel::Network;
+    use lv_radio::{Medium, Position, PropagationConfig};
+
+    fn tiny_net() -> (Network, Workstation) {
+        let medium = Medium::new(
+            vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0)],
+            PropagationConfig::default(),
+            42,
+        );
+        let mut net = Network::new(medium, 42);
+        install_suite(&mut net);
+        net.run_for(SimDuration::from_secs(10));
+        let ws = Workstation::install(&mut net, 0);
+        (net, ws)
+    }
+
+    fn req(session: u32, seq: u32, body: RequestBody) -> Request {
+        Request { session, seq, body }
+    }
+
+    #[test]
+    fn request_and_response_roundtrip_the_wire() {
+        let r = req(
+            7,
+            3,
+            RequestBody::Exec {
+                command: ShellCommand::Ping {
+                    dst: "192.168.0.2".into(),
+                    rounds: 2,
+                    length: 32,
+                    port: None,
+                },
+            },
+        );
+        let back = Request::decode(&r.encode()).unwrap();
+        assert_eq!(back, r);
+
+        let resp = Response {
+            session: 7,
+            seq: 3,
+            body: ResponseBody::Error {
+                message: "nope".into(),
+            },
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode(b"xx").is_err());
+        let framed = frame::encode(b"{\"not\": \"a request\"}");
+        assert!(Request::decode(&framed).is_err());
+    }
+
+    #[test]
+    fn hello_cd_exec_bye_lifecycle() {
+        let (mut net, mut ws) = tiny_net();
+        let mut host = SessionHost::new();
+        let peer: PeerId = 9;
+
+        // Commands before Hello are rejected.
+        let r = host.apply(&mut net, &mut ws, peer, &req(1, 0, RequestBody::Pwd));
+        assert!(matches!(r.body, ResponseBody::Error { .. }));
+
+        let r = host.apply(
+            &mut net,
+            &mut ws,
+            peer,
+            &req(
+                1,
+                1,
+                RequestBody::Hello {
+                    version: PROTOCOL_VERSION,
+                },
+            ),
+        );
+        let ResponseBody::Welcome { nodes, bridge, .. } = r.body else {
+            panic!("expected Welcome, got {r:?}");
+        };
+        assert_eq!(nodes, 2);
+        assert_eq!(bridge, 0);
+
+        let r = host.apply(
+            &mut net,
+            &mut ws,
+            peer,
+            &req(
+                1,
+                2,
+                RequestBody::Cd {
+                    node: "192.168.0.1".into(),
+                },
+            ),
+        );
+        let ResponseBody::Cwd { node, ref path } = r.body else {
+            panic!("expected Cwd, got {r:?}");
+        };
+        assert_eq!(node, 0);
+        assert!(path.ends_with("192.168.0.1"), "{path}");
+
+        let r = host.apply(
+            &mut net,
+            &mut ws,
+            peer,
+            &req(
+                1,
+                3,
+                RequestBody::Exec {
+                    command: ShellCommand::Ping {
+                        dst: "192.168.0.2".into(),
+                        rounds: 1,
+                        length: 32,
+                        port: None,
+                    },
+                },
+            ),
+        );
+        let ResponseBody::Done { execution, lines } = r.body else {
+            panic!("expected Done, got {r:?}");
+        };
+        // The command runs *on* the session's cwd (node 0); the ping
+        // destination lives inside the command itself.
+        assert_eq!(execution.target, 0);
+        assert!(!lines.is_empty());
+
+        let r = host.apply(&mut net, &mut ws, peer, &req(1, 4, RequestBody::Bye));
+        assert!(matches!(r.body, ResponseBody::Bye));
+        assert_eq!(host.session_count(), 0);
+    }
+
+    #[test]
+    fn sessions_have_independent_cwds() {
+        let (mut net, mut ws) = tiny_net();
+        let mut host = SessionHost::new();
+        for (peer, name) in [(1u64, "192.168.0.1"), (2u64, "192.168.0.2")] {
+            host.apply(
+                &mut net,
+                &mut ws,
+                peer,
+                &req(
+                    1,
+                    0,
+                    RequestBody::Hello {
+                        version: PROTOCOL_VERSION,
+                    },
+                ),
+            );
+            host.apply(
+                &mut net,
+                &mut ws,
+                peer,
+                &req(1, 1, RequestBody::Cd { node: name.into() }),
+            );
+        }
+        let r1 = host.apply(&mut net, &mut ws, 1, &req(1, 2, RequestBody::Pwd));
+        let r2 = host.apply(&mut net, &mut ws, 2, &req(1, 2, RequestBody::Pwd));
+        let (ResponseBody::Cwd { node: n1, .. }, ResponseBody::Cwd { node: n2, .. }) =
+            (r1.body, r2.body)
+        else {
+            panic!("expected two Cwd responses");
+        };
+        assert_eq!((n1, n2), (0, 1));
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let (mut net, mut ws) = tiny_net();
+        let mut host = SessionHost::new();
+        let r = host.apply(
+            &mut net,
+            &mut ws,
+            1,
+            &req(1, 0, RequestBody::Hello { version: 999 }),
+        );
+        assert!(matches!(r.body, ResponseBody::Error { .. }));
+        assert_eq!(host.session_count(), 0);
+    }
+
+    #[test]
+    fn exec_without_cd_reports_no_cwd() {
+        let (mut net, mut ws) = tiny_net();
+        let mut host = SessionHost::new();
+        host.apply(
+            &mut net,
+            &mut ws,
+            1,
+            &req(
+                1,
+                0,
+                RequestBody::Hello {
+                    version: PROTOCOL_VERSION,
+                },
+            ),
+        );
+        let r = host.apply(
+            &mut net,
+            &mut ws,
+            1,
+            &req(
+                1,
+                1,
+                RequestBody::Exec {
+                    command: ShellCommand::Status,
+                },
+            ),
+        );
+        let ResponseBody::Error { message } = r.body else {
+            panic!("expected Error");
+        };
+        assert!(message.contains("cd"), "{message}");
+    }
+}

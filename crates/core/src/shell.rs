@@ -11,9 +11,15 @@ use crate::commands::Command;
 use lv_kernel::Network;
 use lv_net::packet::Port;
 use lv_sim::SimDuration;
+use serde::{Deserialize, Serialize};
 
 /// A parsed shell command whose node names are not yet resolved.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// This is also the wire-level command vocabulary of the `lv-serve`
+/// session protocol (see [`crate::session`]): the interactive shell and
+/// the daemon speak the same parsed type, and name resolution always
+/// happens server-side against the hosted deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ShellCommand {
     /// `ping <name> [round=N] [length=N] [port=N]`.
     Ping {

@@ -1,0 +1,369 @@
+//! The transport seam between diagnosis sessions and event delivery.
+//!
+//! The paper's workstation talks to the deployment through whatever
+//! link happens to be available — a serial cable to the bridge mote in
+//! the testbed, a socket to a gateway in a fielded system. This module
+//! carves that seam as a trait so the *same* protocol objects
+//! ([`crate::Workstation`], the port stack, the session layer in
+//! [`crate::session`]) can be driven by two interchangeable backends:
+//!
+//! * [`SimTransport`] — a deterministic in-memory pair of bounded
+//!   queues. No threads, no wall clock, no OS randomness: frames are
+//!   delivered in FIFO order exactly as enqueued, so the sim backend
+//!   stays bit-identical with the digest goldens.
+//! * `UdpTransport` (in the `lv-serve` crate) — a real `UdpSocket`
+//!   with a channel-fed receive loop, bounded queues with
+//!   backpressure, and per-peer send pacing. The live side is allowed
+//!   to use wall-clock time; lv-lint scopes the determinism rules so
+//!   that permission never leaks back into the sim path.
+//!
+//! Frames are opaque byte strings. The session layer frames its JSON
+//! payloads with the [`frame`] codec (u32 big-endian length prefix)
+//! so stream-ish transports can split and reassemble safely.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Identifies the far end of a transport, as interned by the backend.
+///
+/// For [`SimTransport`] there is exactly one peer (id 0); a live
+/// backend mints one id per remote socket address it hears from.
+pub type PeerId = u64;
+
+/// Errors a transport can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The receiving queue is full — the peer is not draining fast
+    /// enough. Callers may retry later; the frame was **not** queued.
+    Backpressure,
+    /// The transport (or its peer endpoint) has shut down.
+    Closed,
+    /// The frame exceeds the backend's maximum frame size.
+    TooBig {
+        /// Offered frame length.
+        len: usize,
+        /// Backend ceiling.
+        max: usize,
+    },
+    /// An operating-system I/O error (live backends only).
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Backpressure => write!(f, "peer queue full (backpressure)"),
+            TransportError::Closed => write!(f, "transport closed"),
+            TransportError::TooBig { len, max } => {
+                write!(f, "frame of {len} bytes exceeds transport max {max}")
+            }
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A bidirectional, frame-oriented link to one or more peers.
+///
+/// Implementations deliver whole frames (datagram semantics): a frame
+/// handed to [`Transport::send`] arrives at the peer as one
+/// `(PeerId, Vec<u8>)` unit from [`Transport::recv`], or not at all.
+/// Ordering is FIFO per peer for the deterministic backend; live
+/// backends inherit UDP's best-effort ordering and may drop frames
+/// under load (surfaced via their backpressure counters).
+pub trait Transport: Send {
+    /// Queue one frame for `peer`. Returns [`TransportError::Backpressure`]
+    /// when the peer's queue is full (the frame is dropped, not queued).
+    fn send(&mut self, peer: PeerId, frame: &[u8]) -> Result<(), TransportError>;
+
+    /// Receive the next pending frame from any peer.
+    ///
+    /// * `wait = None` — poll: return `Ok(None)` immediately when idle.
+    /// * `wait = Some(d)` — block up to `d` for a frame.
+    fn recv(&mut self, wait: Option<Duration>)
+        -> Result<Option<(PeerId, Vec<u8>)>, TransportError>;
+
+    /// Tear the link down. Subsequent sends fail with
+    /// [`TransportError::Closed`]; the peer's `recv` drains whatever
+    /// was already queued and then reports `Closed`.
+    fn shutdown(&mut self);
+
+    /// The largest frame this backend can carry in one unit.
+    fn max_frame(&self) -> usize {
+        usize::MAX
+    }
+}
+
+/// Shared state of one direction of a [`SimTransport`] pair.
+struct SimQueue {
+    inner: Mutex<SimQueueState>,
+    ready: Condvar,
+}
+
+struct SimQueueState {
+    frames: VecDeque<Vec<u8>>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl SimQueue {
+    fn new(capacity: usize) -> Arc<SimQueue> {
+        Arc::new(SimQueue {
+            inner: Mutex::new(SimQueueState {
+                frames: VecDeque::new(),
+                capacity,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn push(&self, frame: &[u8]) -> Result<(), TransportError> {
+        let mut st = self.inner.lock().expect("sim queue poisoned");
+        if st.closed {
+            return Err(TransportError::Closed);
+        }
+        if st.frames.len() >= st.capacity {
+            return Err(TransportError::Backpressure);
+        }
+        st.frames.push_back(frame.to_vec());
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self, wait: Option<Duration>) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut st = self.inner.lock().expect("sim queue poisoned");
+        if let Some(f) = st.frames.pop_front() {
+            return Ok(Some(f));
+        }
+        if st.closed {
+            return Err(TransportError::Closed);
+        }
+        let Some(d) = wait else { return Ok(None) };
+        let (mut st, _timed_out) = self
+            .ready
+            .wait_timeout_while(st, d, |st| st.frames.is_empty() && !st.closed)
+            .expect("sim queue poisoned");
+        match st.frames.pop_front() {
+            Some(f) => Ok(Some(f)),
+            None if st.closed => Err(TransportError::Closed),
+            None => Ok(None),
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.inner.lock().expect("sim queue poisoned");
+        st.closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// The deterministic in-process transport: one half of a paired link
+/// over bounded FIFO queues.
+///
+/// This is the sim backend of the transport seam. It involves no
+/// threads of its own, no wall-clock reads and no randomness — frames
+/// come back in exactly the order they were pushed, so a diagnosis
+/// session driven over `SimTransport` replays bit-identically. (The
+/// blocking `recv` flavor exists so the same endpoint type also works
+/// when a test *does* put the two halves on separate threads.)
+pub struct SimTransport {
+    tx: Arc<SimQueue>,
+    rx: Arc<SimQueue>,
+    closed: bool,
+}
+
+/// The [`PeerId`] of the opposite endpoint of a [`SimTransport`] pair.
+pub const SIM_PEER: PeerId = 0;
+
+impl SimTransport {
+    /// Create a connected pair of endpoints whose queues hold at most
+    /// `capacity` frames per direction.
+    pub fn pair(capacity: usize) -> (SimTransport, SimTransport) {
+        let a_to_b = SimQueue::new(capacity);
+        let b_to_a = SimQueue::new(capacity);
+        (
+            SimTransport {
+                tx: Arc::clone(&a_to_b),
+                rx: Arc::clone(&b_to_a),
+                closed: false,
+            },
+            SimTransport {
+                tx: b_to_a,
+                rx: a_to_b,
+                closed: false,
+            },
+        )
+    }
+
+    /// Frames currently queued toward this endpoint.
+    pub fn pending(&self) -> usize {
+        self.rx
+            .inner
+            .lock()
+            .expect("sim queue poisoned")
+            .frames
+            .len()
+    }
+}
+
+impl Transport for SimTransport {
+    fn send(&mut self, _peer: PeerId, frame: &[u8]) -> Result<(), TransportError> {
+        if self.closed {
+            return Err(TransportError::Closed);
+        }
+        self.tx.push(frame)
+    }
+
+    fn recv(
+        &mut self,
+        wait: Option<Duration>,
+    ) -> Result<Option<(PeerId, Vec<u8>)>, TransportError> {
+        if self.closed {
+            return Err(TransportError::Closed);
+        }
+        Ok(self.rx.pop(wait)?.map(|f| (SIM_PEER, f)))
+    }
+
+    fn shutdown(&mut self) {
+        self.closed = true;
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+impl Drop for SimTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Length-prefix framing for the session wire protocol.
+///
+/// Every protocol message travels as `[u32 big-endian length][payload]`.
+/// Datagram transports carry one framed message per frame; the prefix
+/// lets stream-ish carriers (or files of concatenated messages) be cut
+/// back into messages without guessing.
+pub mod frame {
+    /// Hard ceiling on one framed payload (1 MiB) — a decoder guard so
+    /// a corrupt length prefix cannot trigger a giant allocation.
+    pub const MAX_PAYLOAD: usize = 1 << 20;
+
+    /// Bytes of framing overhead per message.
+    pub const HEADER_LEN: usize = 4;
+
+    /// Framing-layer decode errors.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FrameError {
+        /// Fewer bytes than the prefix promises (or no full prefix).
+        Truncated,
+        /// Length prefix exceeds [`MAX_PAYLOAD`].
+        Oversized,
+    }
+
+    /// Wrap `payload` in a length prefix.
+    pub fn encode(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Split one framed message off the front of `buf`, returning the
+    /// payload and the number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(&[u8], usize), FrameError> {
+        if buf.len() < HEADER_LEN {
+            return Err(FrameError::Truncated);
+        }
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::Oversized);
+        }
+        if buf.len() < HEADER_LEN + len {
+            return Err(FrameError::Truncated);
+        }
+        Ok((&buf[HEADER_LEN..HEADER_LEN + len], HEADER_LEN + len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_delivers_in_fifo_order() {
+        let (mut a, mut b) = SimTransport::pair(8);
+        a.send(SIM_PEER, b"one").unwrap();
+        a.send(SIM_PEER, b"two").unwrap();
+        assert_eq!(b.recv(None).unwrap().unwrap().1, b"one");
+        assert_eq!(b.recv(None).unwrap().unwrap().1, b"two");
+        assert_eq!(b.recv(None).unwrap(), None);
+    }
+
+    #[test]
+    fn bounded_queue_backpressures() {
+        let (mut a, mut b) = SimTransport::pair(2);
+        a.send(SIM_PEER, b"1").unwrap();
+        a.send(SIM_PEER, b"2").unwrap();
+        assert_eq!(a.send(SIM_PEER, b"3"), Err(TransportError::Backpressure));
+        // Draining one slot readmits the sender.
+        b.recv(None).unwrap().unwrap();
+        a.send(SIM_PEER, b"3").unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_then_closes() {
+        let (mut a, mut b) = SimTransport::pair(4);
+        a.send(SIM_PEER, b"last").unwrap();
+        a.shutdown();
+        assert_eq!(a.send(SIM_PEER, b"x"), Err(TransportError::Closed));
+        assert_eq!(b.recv(None).unwrap().unwrap().1, b"last");
+        assert_eq!(b.recv(None), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn blocking_recv_crosses_threads() {
+        let (mut a, mut b) = SimTransport::pair(4);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                a.send(SIM_PEER, b"ping").unwrap();
+            });
+            let got = b.recv(Some(Duration::from_secs(5))).unwrap().unwrap();
+            assert_eq!(got.1, b"ping");
+        });
+    }
+
+    #[test]
+    fn frame_roundtrip_and_guards() {
+        let framed = frame::encode(b"hello");
+        let (payload, used) = frame::decode(&framed).unwrap();
+        assert_eq!(payload, b"hello");
+        assert_eq!(used, framed.len());
+
+        // Truncated buffers and oversized prefixes are rejected.
+        assert_eq!(
+            frame::decode(&framed[..3]),
+            Err(frame::FrameError::Truncated)
+        );
+        assert_eq!(
+            frame::decode(&framed[..framed.len() - 1]),
+            Err(frame::FrameError::Truncated)
+        );
+        let mut bad = framed.clone();
+        bad[0] = 0xFF;
+        assert_eq!(frame::decode(&bad), Err(frame::FrameError::Oversized));
+    }
+
+    #[test]
+    fn two_messages_split_cleanly() {
+        let mut buf = frame::encode(b"a");
+        buf.extend_from_slice(&frame::encode(b"bb"));
+        let (p1, used1) = frame::decode(&buf).unwrap();
+        assert_eq!(p1, b"a");
+        let (p2, used2) = frame::decode(&buf[used1..]).unwrap();
+        assert_eq!(p2, b"bb");
+        assert_eq!(used1 + used2, buf.len());
+    }
+}

@@ -17,6 +17,7 @@
 //! payload area.
 
 use lv_net::padding::HopQuality;
+use serde::{Deserialize, Serialize};
 
 /// Errors shared by every decoder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,7 +269,7 @@ impl MgmtRequest {
 // ---------------------------------------------------------------------
 
 /// A neighbor-table row on the wire.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireNeighbor {
     /// Neighbor id.
     pub id: u16,
@@ -352,7 +353,7 @@ impl WireNeighbor {
 }
 
 /// One measured ping round.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PingRound {
     /// Probe sequence number.
     pub seq: u8,
@@ -481,7 +482,7 @@ impl PingSummary {
 }
 
 /// One traceroute hop record.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HopRecord {
     /// 1-based hop index along the path.
     pub hop_index: u8,
@@ -745,7 +746,7 @@ impl MgmtResponse {
 
 /// One event-log record on the wire (fields truncated to mote-scale
 /// budgets: the log exists for diagnosis, not archival).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireLogEntry {
     /// Event time in milliseconds since node boot.
     pub time_ms: u32,

@@ -64,10 +64,6 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// Former name of [`ExecError`].
-#[deprecated(note = "renamed to `ExecError`")]
-pub type ShellError = ExecError;
-
 /// Where a [`CommandRequest`] executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecTarget {
@@ -327,18 +323,6 @@ impl Workstation {
         Ok(self.dispatch(net, target, request.command))
     }
 
-    /// Execute `command` on an explicit target node. Equivalent to
-    /// `exec` with [`CommandRequest::on`]; fallible like `exec` (the
-    /// historical infallible signature silently accepted bogus ids).
-    pub fn exec_on(
-        &mut self,
-        net: &mut Network,
-        target: u16,
-        command: Command,
-    ) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::new(command).on(target))
-    }
-
     /// Merged MAC + network-layer counters of one node, as a baseline
     /// or endpoint for per-command deltas.
     fn node_counters(net: &Network, id: u16) -> Counters {
@@ -487,108 +471,5 @@ impl Workstation {
             counter_delta: Counters::new(),
             node_deltas: Vec::new(),
         }
-    }
-
-    // ---- deprecated per-command wrappers (use `exec` + the
-    //      `CommandRequest` constructors instead) ----
-
-    /// `ping <dst> round=<rounds> length=<len> [port=<p>]`.
-    #[deprecated(note = "use `exec` with `CommandRequest::ping`")]
-    pub fn ping(
-        &mut self,
-        net: &mut Network,
-        dst: u16,
-        rounds: u8,
-        length: u8,
-        port: Option<Port>,
-    ) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::ping(dst, rounds, length, port))
-    }
-
-    /// `traceroute <dst> length=<len> port=<p>`.
-    #[deprecated(note = "use `exec` with `CommandRequest::traceroute`")]
-    pub fn traceroute(
-        &mut self,
-        net: &mut Network,
-        dst: u16,
-        length: u8,
-        port: Port,
-    ) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::traceroute(dst, length, port))
-    }
-
-    /// The neighborhood `list` command.
-    #[deprecated(note = "use `exec` with `CommandRequest::neighbor_list`")]
-    pub fn neighbor_list(
-        &mut self,
-        net: &mut Network,
-        with_quality: bool,
-    ) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::neighbor_list(with_quality))
-    }
-
-    /// The `blacklist` command (add or remove).
-    #[deprecated(note = "use `exec` with `CommandRequest::blacklist`")]
-    pub fn blacklist(
-        &mut self,
-        net: &mut Network,
-        neighbor: u16,
-        add: bool,
-    ) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::blacklist(neighbor, add))
-    }
-
-    /// Set the radio power level.
-    #[deprecated(note = "use `exec` with `CommandRequest::set_power`")]
-    pub fn set_power(&mut self, net: &mut Network, level: u8) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::set_power(level))
-    }
-
-    /// Read the radio power level.
-    #[deprecated(note = "use `exec` with `CommandRequest::get_power`")]
-    pub fn get_power(&mut self, net: &mut Network) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::get_power())
-    }
-
-    /// Set the radio channel.
-    #[deprecated(note = "use `exec` with `CommandRequest::set_channel`")]
-    pub fn set_channel(&mut self, net: &mut Network, channel: u8) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::set_channel(channel))
-    }
-
-    /// Read the radio channel.
-    #[deprecated(note = "use `exec` with `CommandRequest::get_channel`")]
-    pub fn get_channel(&mut self, net: &mut Network) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::get_channel())
-    }
-
-    /// Survey every node in radio range of the bridge with one
-    /// broadcast status query (the paper's group operation).
-    #[deprecated(note = "use `exec` with `CommandRequest::survey`")]
-    pub fn survey(&mut self, net: &mut Network) -> Execution {
-        self.exec(net, CommandRequest::survey())
-            .expect("group target needs no cwd and skips id validation")
-    }
-
-    /// Toggle a node's on-demand event logging.
-    #[deprecated(note = "use `exec` with `CommandRequest::set_logging`")]
-    pub fn set_logging(&mut self, net: &mut Network, on: bool) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::set_logging(on))
-    }
-
-    /// Retrieve the most recent `max` entries of a node's event log.
-    #[deprecated(note = "use `exec` with `CommandRequest::read_log`")]
-    pub fn read_log(&mut self, net: &mut Network, max: u8) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::read_log(max))
-    }
-
-    /// The neighborhood `update` command (beacon frequency).
-    #[deprecated(note = "use `exec` with `CommandRequest::update_beacon`")]
-    pub fn update_beacon(
-        &mut self,
-        net: &mut Network,
-        period: SimDuration,
-    ) -> Result<Execution, ExecError> {
-        self.exec(net, CommandRequest::update_beacon(period))
     }
 }

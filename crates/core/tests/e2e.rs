@@ -656,14 +656,14 @@ fn exec_rejects_bad_targets_up_front() {
     ));
     assert_eq!(net.now(), before, "failed exec must not advance time");
 
-    // Unknown explicit node ids are rejected by `exec` and `exec_on`
-    // alike (the old `exec_on` silently accepted them).
+    // Unknown explicit node ids are rejected (the historical `exec_on`
+    // wrapper silently accepted them).
     assert!(matches!(
         ws.exec(&mut net, CommandRequest::get_power().on(99)),
         Err(ExecError::UnknownNode(99))
     ));
     assert!(matches!(
-        ws.exec_on(&mut net, 99, Command::GetPower),
+        ws.exec(&mut net, CommandRequest::new(Command::GetPower).on(99)),
         Err(ExecError::UnknownNode(99))
     ));
 

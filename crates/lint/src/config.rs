@@ -56,14 +56,26 @@ pub const SIM_PATH_CRATES: &[&str] = &["sim", "radio", "mac", "net", "kernel", "
 /// iteration still must not leak into what they serialize.
 pub const HARNESS_CRATES: &[&str] = &["testbed", "bench", "root", "lint"];
 
+/// The live-transport crates: real sockets, real threads, real time.
+/// Wall-clock reads (pacing, timeouts, idle eviction) are the *point*
+/// here, so the sim-path determinism rules do not apply — but the
+/// exemption is this explicit crate scope, never an inline allow, so
+/// adding a new crate to the live side is a reviewed policy change.
+/// Hash-ordered iteration is still banned: session bookkeeping that
+/// reaches responses or stats must not depend on hasher state.
+pub const LIVE_CRATES: &[&str] = &["serve"];
+
 impl LintConfig {
     /// The repo's default policy.
     ///
     /// * `wall-clock`, `os-random`, `hash-type` — sim-path crates only:
     ///   no `Instant`/`SystemTime`, no OS randomness, no std hash
     ///   collections (their iteration order depends on `RandomState`).
-    /// * `hash-iter` — harness crates: `HashMap`/`HashSet` may exist,
-    ///   but iterating one is flagged (sort first or use `BTreeMap`).
+    ///   The live-transport crates ([`LIVE_CRATES`]) are exempt by
+    ///   crate scope — real time is their job — not by inline allows.
+    /// * `hash-iter` — harness and live-transport crates:
+    ///   `HashMap`/`HashSet` may exist, but iterating one is flagged
+    ///   (sort first or use `BTreeMap`).
     /// * `no-panic` — kernel and radio: `unwrap`/`expect`/`panic!` are
     ///   forbidden in non-test code; use typed errors or anomaly paths.
     /// * `counter-name` — everywhere: counter ids must be namespaced
@@ -76,12 +88,14 @@ impl LintConfig {
             rule: rule.to_owned(),
             crates,
         };
+        let hash_iter_crates: Vec<&str> =
+            HARNESS_CRATES.iter().chain(LIVE_CRATES).copied().collect();
         LintConfig {
             rules: vec![
                 rule("wall-clock", CrateSet::only(SIM_PATH_CRATES)),
                 rule("os-random", CrateSet::only(SIM_PATH_CRATES)),
                 rule("hash-type", CrateSet::only(SIM_PATH_CRATES)),
-                rule("hash-iter", CrateSet::only(HARNESS_CRATES)),
+                rule("hash-iter", CrateSet::only(&hash_iter_crates)),
                 rule("no-panic", CrateSet::only(&["kernel", "radio"])),
                 rule("counter-name", CrateSet::All),
                 rule("trace-coverage", CrateSet::only(&["kernel"])),
@@ -131,5 +145,32 @@ mod tests {
         assert!(!cfg.rules_for("kernel").contains(&"hash-iter"));
         assert!(cfg.rules_for("kernel").contains(&"hash-type"));
         assert!(cfg.rules_for("bench").contains(&"pub-doc"));
+    }
+
+    /// The live-transport crate is exempt from the sim-path determinism
+    /// rules by scope, but still subject to hash-iter, counter-name and
+    /// pub-doc.
+    #[test]
+    fn live_crate_scoping() {
+        let cfg = LintConfig::default_for_workspace();
+        for rule in ["wall-clock", "os-random", "hash-type", "no-panic"] {
+            assert!(
+                !cfg.rules_for("serve").contains(&rule),
+                "{rule} must not apply to the live crate"
+            );
+        }
+        for rule in ["hash-iter", "counter-name", "pub-doc"] {
+            assert!(
+                cfg.rules_for("serve").contains(&rule),
+                "{rule} must still apply to the live crate"
+            );
+        }
+        // The exemption is narrow: every sim-path crate keeps the full
+        // determinism set.
+        for key in SIM_PATH_CRATES {
+            assert!(cfg.rules_for(key).contains(&"wall-clock"));
+            assert!(cfg.rules_for(key).contains(&"os-random"));
+            assert!(cfg.rules_for(key).contains(&"hash-type"));
+        }
     }
 }

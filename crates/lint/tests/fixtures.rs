@@ -104,6 +104,37 @@ fn pub_doc_fixture() {
     );
 }
 
+/// Live-crate scoping under the *default workspace policy*: the same
+/// source is clean when it lives in `crates/serve` (real time is the
+/// live transport's job) and a determinism violation anywhere on the
+/// sim path. The exemption must come from the crate scope — the
+/// fixture carries no inline allows.
+#[test]
+fn live_transport_fixture_scoped_by_crate() {
+    let src = fixture("live_transport.rs");
+    assert!(
+        !src.contains("lv-lint: allow"),
+        "the live-crate exemption must be scoping, not inline allows"
+    );
+    let cfg = lv_lint::config::LintConfig::default_for_workspace();
+
+    let live = lint_source("crates/serve/src/fixture.rs", &src, &cfg);
+    assert!(live.is_empty(), "clean under the live crate key: {live:?}");
+
+    let sim = lint_source("crates/kernel/src/fixture.rs", &src, &cfg);
+    let mut rules: Vec<&str> = sim.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    assert_eq!(
+        rules,
+        vec!["hash-type", "wall-clock"],
+        "sim-path key must flag the determinism violations: {sim:?}"
+    );
+    // No hash-iter findings under either key: the fixture only does
+    // keyed lookups.
+    assert!(sim.iter().all(|f| f.rule != "hash-iter"));
+}
+
 /// The baseline flow on real findings: grandfather the fixture's
 /// current violations, then verify (a) a re-scan is clean through the
 /// baseline, (b) a *new* violation still surfaces, (c) fixing a

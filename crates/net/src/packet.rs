@@ -25,6 +25,7 @@
 //! and only the occupied bytes travel on the air.
 
 use crate::padding::HopQuality;
+use serde::{Deserialize, Serialize};
 
 /// The reserved payload area per packet — payload plus padding must fit.
 pub const PAYLOAD_AREA: usize = 64;
@@ -33,7 +34,7 @@ pub const PAYLOAD_AREA: usize = 64;
 pub const NET_HEADER_LEN: usize = 11;
 
 /// A port number in the subscription stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Port(pub u8);
 
 /// Well-known ports (mirroring the paper's conventions).

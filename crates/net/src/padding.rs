@@ -6,8 +6,10 @@
 //! along the path": the entries accumulate in hop order, so the source
 //! can reconstruct the per-hop quality profile of the whole path.
 
+use serde::{Deserialize, Serialize};
+
 /// One hop's link-quality sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HopQuality {
     /// CC2420 LQI (50–110).
     pub lqi: u8,

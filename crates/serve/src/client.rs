@@ -1,0 +1,207 @@
+//! The thin diagnosis client: a typed request/response wrapper over
+//! any [`Transport`] backend.
+//!
+//! One [`Client`] is one session. Requests carry increasing sequence
+//! numbers; a lost datagram is handled by retransmitting the whole
+//! request after a timeout, and the server's duplicate suppression
+//! guarantees the command is not executed twice.
+
+use liteview::session::{
+    ProtoError, Request, RequestBody, Response, ResponseBody, PROTOCOL_VERSION,
+};
+use liteview::shell::ShellCommand;
+use liteview::transport::{PeerId, Transport, TransportError};
+use liteview::Execution;
+use std::time::{Duration, Instant};
+
+/// Client-side failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The transport failed outright.
+    Transport(TransportError),
+    /// A response arrived but did not parse.
+    Proto(ProtoError),
+    /// No matching response within the timeout budget (all retries
+    /// spent).
+    TimedOut,
+    /// The server answered with an error message.
+    Server(String),
+    /// The server answered with a well-formed but unexpected body.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::TimedOut => write!(f, "timed out waiting for the server"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// What [`Client::hello`] learns about the hosted deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Welcome {
+    /// Nodes in the deployment.
+    pub nodes: u64,
+    /// The workstation's bridge mote.
+    pub bridge: u16,
+    /// Virtual time at session open, nanoseconds.
+    pub now_ns: u64,
+}
+
+/// One diagnosis session over a [`Transport`].
+pub struct Client<T: Transport> {
+    transport: T,
+    peer: PeerId,
+    session: u32,
+    next_seq: u32,
+    /// Per-attempt response timeout.
+    pub timeout: Duration,
+    /// Retransmissions after the first attempt.
+    pub retries: u32,
+}
+
+impl<T: Transport> Client<T> {
+    /// A session over `transport`, talking to `peer`, with a
+    /// client-chosen session id.
+    pub fn new(transport: T, peer: PeerId, session: u32) -> Client<T> {
+        Client {
+            transport,
+            peer,
+            session,
+            next_seq: 0,
+            timeout: Duration::from_secs(2),
+            retries: 3,
+        }
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Issue one request and wait for its matching response.
+    pub fn call(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        self.next_seq += 1;
+        let req = Request {
+            session: self.session,
+            seq: self.next_seq,
+            body,
+        };
+        let bytes = req.encode();
+        for _attempt in 0..=self.retries {
+            if let Err(e) = self.transport.send(self.peer, &bytes) {
+                match e {
+                    // A full queue can clear; pause and retry.
+                    TransportError::Backpressure => {
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
+                    }
+                    other => return Err(ClientError::Transport(other)),
+                }
+            }
+            let deadline = Instant::now() + self.timeout;
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break; // retransmit
+                }
+                let got = self
+                    .transport
+                    .recv(Some(left))
+                    .map_err(ClientError::Transport)?;
+                let Some((_, frame)) = got else { continue };
+                let resp = match Response::decode(&frame) {
+                    Ok(r) => r,
+                    Err(_) => continue, // stray garbage — keep waiting
+                };
+                if resp.session != self.session || resp.seq != self.next_seq {
+                    continue; // stale or foreign response
+                }
+                return match resp.body {
+                    ResponseBody::Error { message } => Err(ClientError::Server(message)),
+                    body => Ok(body),
+                };
+            }
+        }
+        Err(ClientError::TimedOut)
+    }
+
+    /// Open the session.
+    pub fn hello(&mut self) -> Result<Welcome, ClientError> {
+        match self.call(RequestBody::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            ResponseBody::Welcome {
+                nodes,
+                bridge,
+                now_ns,
+                ..
+            } => Ok(Welcome {
+                nodes,
+                bridge,
+                now_ns,
+            }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Log into a node by name; returns `(node id, shell path)`.
+    pub fn cd(&mut self, node: &str) -> Result<(u16, String), ClientError> {
+        match self.call(RequestBody::Cd {
+            node: node.to_owned(),
+        })? {
+            ResponseBody::Cwd { node, path } => Ok((node, path)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The session's current node; errors when not logged in.
+    pub fn pwd(&mut self) -> Result<(u16, String), ClientError> {
+        match self.call(RequestBody::Pwd)? {
+            ResponseBody::Cwd { node, path } => Ok((node, path)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Execute one diagnosis command on the session's current node.
+    /// Returns the full execution record and the paper-style output
+    /// lines.
+    pub fn exec(&mut self, command: ShellCommand) -> Result<(Execution, Vec<String>), ClientError> {
+        match self.call(RequestBody::Exec { command })? {
+            ResponseBody::Done { execution, lines } => Ok((execution, lines)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Advance the hosted deployment's virtual time; returns the new
+    /// time in nanoseconds.
+    pub fn run_nanos(&mut self, nanos: u64) -> Result<u64, ClientError> {
+        match self.call(RequestBody::Run { nanos })? {
+            ResponseBody::Ran { now_ns } => Ok(now_ns),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Export the network-wide observability report (JSON).
+    pub fn report(&mut self) -> Result<String, ClientError> {
+        match self.call(RequestBody::Report)? {
+            ResponseBody::Report { json } => Ok(json),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Close the session.
+    pub fn bye(&mut self) -> Result<(), ClientError> {
+        match self.call(RequestBody::Bye)? {
+            ResponseBody::Bye => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

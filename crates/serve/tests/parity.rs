@@ -1,0 +1,245 @@
+//! Sim/live parity: the same command script replayed through three
+//! stacks must produce field-identical [`Execution`] records.
+//!
+//! 1. **direct** — `Workstation::exec` against a fresh deployment,
+//!    aiming commands exactly the way `SessionHost` does;
+//! 2. **sim transport** — the real `Client`/`Server` pair over the
+//!    deterministic in-process [`SimTransport`];
+//! 3. **live transport** — the same pair over loopback UDP
+//!    ([`UdpTransport`]), server on its own thread.
+//!
+//! Because the hosted deployment is the deterministic simulator and the
+//! transport seam carries *parsed commands*, nothing about the backend
+//! may leak into diagnosis results: timelines, counter deltas and
+//! response delays must match to the nanosecond.
+
+use liteview::shell::ShellCommand;
+use liteview::transport::{SimTransport, SIM_PEER};
+use liteview::{Command, CommandRequest, Execution};
+use lv_serve::{Client, Server, ServerConfig, UdpConfig, UdpTransport};
+use lv_testbed::{Scenario, ScenarioConfig, Topology};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 42;
+const CWD: &str = "192.168.0.2";
+
+fn scenario() -> Scenario {
+    Scenario::build(ScenarioConfig::new(Topology::eight_hop_corridor(), SEED))
+}
+
+/// Generous limits so the policy layer cannot perturb the replay.
+fn server_cfg() -> ServerConfig {
+    ServerConfig {
+        rate_limit: 10_000.0,
+        burst: 10_000.0,
+        idle_timeout: Duration::from_secs(300),
+        max_sessions: 8,
+    }
+}
+
+/// One representative script: cheap status verbs, a multi-round ping,
+/// a neighbor listing, an eight-hop traceroute and a broadcast survey.
+fn script() -> Vec<ShellCommand> {
+    vec![
+        ShellCommand::Status,
+        ShellCommand::GetPower,
+        ShellCommand::Ping {
+            dst: "192.168.0.5".into(),
+            rounds: 2,
+            length: 32,
+            port: None,
+        },
+        ShellCommand::List { quality: true },
+        ShellCommand::Traceroute {
+            dst: "192.168.0.7".into(),
+            length: 32,
+            port: 10,
+        },
+        ShellCommand::Survey,
+        ShellCommand::GetChannel,
+    ]
+}
+
+/// Reference replay: the workstation API directly, no transport.
+fn run_direct() -> Vec<Execution> {
+    let s = scenario();
+    let mut net = s.net;
+    let mut ws = s.ws;
+    let cwd = net.resolve(CWD).expect("cwd resolves");
+    script()
+        .iter()
+        .map(|cmd| {
+            let resolved = cmd.resolve(&net).expect("script resolves");
+            let request = match resolved {
+                Command::GroupStatus => CommandRequest::survey(),
+                c => CommandRequest::new(c).on(cwd),
+            };
+            ws.exec(&mut net, request).expect("direct exec")
+        })
+        .collect()
+}
+
+/// Replay through a real `Client` against a `Server<T>`; the server
+/// loop runs on the calling thread (the workstation is not `Send`),
+/// the client on its own.
+fn run_served<T, C>(server_end: T, client_end: C) -> Vec<Execution>
+where
+    T: liteview::Transport + 'static,
+    C: liteview::Transport + Send + 'static,
+{
+    let s = scenario();
+    let mut server = Server::new(s.net, s.ws, server_end, server_cfg());
+    let done = Arc::new(AtomicBool::new(false));
+    let client_thread = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut client = Client::new(client_end, SIM_PEER, 1);
+            client.timeout = Duration::from_secs(10);
+            client.hello().expect("hello");
+            client.cd(CWD).expect("cd");
+            let execs: Vec<Execution> = script()
+                .into_iter()
+                .map(|cmd| client.exec(cmd).expect("served exec").0)
+                .collect();
+            client.bye().expect("bye");
+            done.store(true, Ordering::Relaxed);
+            execs
+        })
+    };
+    server.run_until(|| done.load(Ordering::Relaxed));
+    client_thread.join().expect("client thread")
+}
+
+fn run_sim_transport() -> Vec<Execution> {
+    let (server_end, client_end) = SimTransport::pair(64);
+    run_served(server_end, client_end)
+}
+
+fn run_udp_transport() -> Vec<Execution> {
+    // Bind the server socket first so the client knows where to aim;
+    // both transports live on loopback with ephemeral ports.
+    let server_end = UdpTransport::bind("127.0.0.1:0", UdpConfig::default()).expect("bind server");
+    let addr = server_end.local_addr().expect("server addr");
+    let client_end = UdpTransport::connect(addr, UdpConfig::default()).expect("connect");
+    run_served(server_end, client_end)
+}
+
+fn assert_replays_match(label: &str, reference: &[Execution], got: &[Execution]) {
+    assert_eq!(
+        reference.len(),
+        got.len(),
+        "{label}: execution count diverged"
+    );
+    for (i, (a, b)) in reference.iter().zip(got).enumerate() {
+        assert_eq!(a.command, b.command, "{label}: step {i} command");
+        assert_eq!(a.target, b.target, "{label}: step {i} target");
+        assert_eq!(a.issued_at, b.issued_at, "{label}: step {i} issue time");
+        assert_eq!(
+            a.response_delay, b.response_delay,
+            "{label}: step {i} response delay"
+        );
+        assert_eq!(a.result, b.result, "{label}: step {i} result");
+        assert_eq!(a.timeline, b.timeline, "{label}: step {i} timeline");
+        assert_eq!(
+            a.counter_delta, b.counter_delta,
+            "{label}: step {i} counter delta"
+        );
+        assert_eq!(
+            a.node_deltas, b.node_deltas,
+            "{label}: step {i} node deltas"
+        );
+        // Belt and braces: the whole record at once.
+        assert_eq!(a, b, "{label}: step {i} full record");
+    }
+}
+
+#[test]
+fn sim_backend_matches_direct_execution() {
+    let reference = run_direct();
+    let sim = run_sim_transport();
+    assert_replays_match("sim transport", &reference, &sim);
+}
+
+#[test]
+fn udp_backend_matches_direct_execution() {
+    let reference = run_direct();
+    let udp = run_udp_transport();
+    assert_replays_match("udp transport", &reference, &udp);
+}
+
+#[test]
+fn udp_and_sim_backends_agree_with_each_other() {
+    let sim = run_sim_transport();
+    let udp = run_udp_transport();
+    assert_replays_match("udp vs sim", &sim, &udp);
+}
+
+/// The parity property holds per session even when the live server is
+/// juggling other traffic: a second session hammering cheap commands
+/// concurrently must not perturb the first session's executions...
+/// except through virtual time, which any interleaved execution
+/// legitimately advances. So here the noise session only issues verbs
+/// that do not touch virtual time (`Pwd`), proving the transport and
+/// policy layers add no nondeterminism of their own.
+#[test]
+fn udp_parity_survives_concurrent_pwd_noise() {
+    let reference = run_direct();
+
+    let s = scenario();
+    let server_end = UdpTransport::bind("127.0.0.1:0", UdpConfig::default()).expect("bind server");
+    let addr = server_end.local_addr().expect("server addr");
+    let mut server = Server::new(s.net, s.ws, server_end, server_cfg());
+
+    // The main session signals the noise session to wind down before
+    // either declares itself done, so the server stays up until both
+    // have said Bye.
+    let stop_noise = Arc::new(AtomicBool::new(false));
+    let main_done = Arc::new(AtomicBool::new(false));
+    let noise_done = Arc::new(AtomicBool::new(false));
+
+    let main_session = {
+        let stop_noise = Arc::clone(&stop_noise);
+        let main_done = Arc::clone(&main_done);
+        std::thread::spawn(move || {
+            let transport = UdpTransport::connect(addr, UdpConfig::default()).expect("connect");
+            let mut client = Client::new(transport, 0, 1);
+            client.timeout = Duration::from_secs(10);
+            client.hello().expect("hello");
+            client.cd(CWD).expect("cd");
+            let execs: Vec<Execution> = script()
+                .into_iter()
+                .map(|cmd| client.exec(cmd).expect("exec").0)
+                .collect();
+            client.bye().expect("bye");
+            stop_noise.store(true, Ordering::Relaxed);
+            main_done.store(true, Ordering::Relaxed);
+            execs
+        })
+    };
+    let noise_session = {
+        let stop_noise = Arc::clone(&stop_noise);
+        let noise_done = Arc::clone(&noise_done);
+        std::thread::spawn(move || {
+            let transport = UdpTransport::connect(addr, UdpConfig::default()).expect("connect");
+            let mut client = Client::new(transport, 0, 2);
+            client.timeout = Duration::from_secs(10);
+            client.hello().expect("noise hello");
+            client.cd("192.168.0.1").expect("noise cd");
+            while !stop_noise.load(Ordering::Relaxed) {
+                client.pwd().expect("noise pwd");
+                // Stay comfortably inside the session rate limit.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            client.bye().expect("noise bye");
+            noise_done.store(true, Ordering::Relaxed);
+        })
+    };
+
+    server.run_until(|| main_done.load(Ordering::Relaxed) && noise_done.load(Ordering::Relaxed));
+    let execs = main_session.join().expect("main session");
+    noise_session.join().expect("noise session");
+
+    assert_replays_match("udp with noise", &reference, &execs);
+}

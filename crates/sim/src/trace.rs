@@ -21,7 +21,7 @@ pub enum TraceLevel {
 }
 
 /// One trace record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// Virtual time the event occurred.
     pub at: SimTime,

@@ -70,12 +70,16 @@ impl ScenarioConfig {
 /// A fully built scenario: network + attached workstation.
 ///
 /// ```no_run
+/// use liteview::CommandRequest;
 /// use lv_testbed::{Scenario, ScenarioConfig, Topology};
 /// use lv_net::packet::Port;
 ///
 /// let mut s = Scenario::build(ScenarioConfig::new(Topology::eight_hop_corridor(), 42));
 /// s.ws.cd(&s.net, "192.168.0.1").unwrap();
-/// let exec = s.ws.traceroute(&mut s.net, 8, 32, Port::GEOGRAPHIC).unwrap();
+/// let exec = s
+///     .ws
+///     .exec(&mut s.net, CommandRequest::traceroute(8, 32, Port::GEOGRAPHIC))
+///     .unwrap();
 /// println!("{:?}", exec.result);
 /// ```
 pub struct Scenario {

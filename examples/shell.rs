@@ -12,27 +12,74 @@
 //! you at `/sn01/192.168.0.1`, and accepts the paper's command syntax.
 //! Type `help` for the verb list; `run <s>` advances virtual time so
 //! you can watch neighbor tables converge or links recover.
+//!
+//! Diagnosis verbs (`cd`, `pwd`, `ping`, `traceroute`, …) go through
+//! the same [`SessionHost`] protocol the `lv-serve` daemon speaks —
+//! this REPL is literally a one-session, no-socket lv-serve. Only the
+//! simulator-introspection verbs (`map`, `stats`, `tracedump`) reach
+//! into the simulated deployment directly.
 
+use liteview_repro::liteview::session::{
+    Request, RequestBody, ResponseBody, SessionHost, PROTOCOL_VERSION,
+};
 use liteview_repro::liteview::shell::{parse_line, ShellInput, HELP};
-use liteview_repro::liteview::{Command, CommandRequest};
-use liteview_repro::lv_sim::SimDuration;
 use liteview_repro::lv_testbed::{Scenario, ScenarioConfig, Topology};
 use std::io::{BufRead, Write};
+
+/// The REPL's single local session.
+struct LocalSession {
+    host: SessionHost,
+    seq: u32,
+}
+
+/// Arbitrary; any stable (peer, session) pair works for a lone local
+/// session.
+const PEER: u64 = 0;
+const SESSION: u32 = 1;
+
+impl LocalSession {
+    fn call(&mut self, s: &mut Scenario, body: RequestBody) -> ResponseBody {
+        self.seq += 1;
+        let req = Request {
+            session: SESSION,
+            seq: self.seq,
+            body,
+        };
+        self.host.apply(&mut s.net, &mut s.ws, PEER, &req).body
+    }
+}
 
 fn main() {
     println!("booting 9-node corridor testbed (this is simulated time)…");
     let mut s = Scenario::build(ScenarioConfig::new(Topology::eight_hop_corridor(), 42));
-    s.ws.cd(&s.net, "192.168.0.1").expect("node exists");
-    println!(
-        "LiteView shell — {} nodes up, geographic forwarding on port 10.",
-        s.net.node_count()
-    );
+    let mut session = LocalSession {
+        host: SessionHost::new(),
+        seq: 0,
+    };
+    let ResponseBody::Welcome { nodes, .. } = session.call(
+        &mut s,
+        RequestBody::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    ) else {
+        panic!("local session handshake failed");
+    };
+    let mut prompt = match session.call(
+        &mut s,
+        RequestBody::Cd {
+            node: "192.168.0.1".into(),
+        },
+    ) {
+        ResponseBody::Cwd { path, .. } => path,
+        other => panic!("cd into the bridge failed: {other:?}"),
+    };
+    println!("LiteView shell — {nodes} nodes up, geographic forwarding on port 10.");
     println!("type `help` for commands.\n");
 
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
     loop {
-        print!("{}$ ", s.ws.pwd(&s.net).unwrap_or_else(|_| "/sn01".into()));
+        print!("{prompt}$ ");
         std::io::stdout().flush().ok();
         let Some(Ok(line)) = lines.next() else {
             println!();
@@ -43,14 +90,18 @@ fn main() {
             Ok(ShellInput::Nothing) => {}
             Ok(ShellInput::Help) => println!("{HELP}"),
             Ok(ShellInput::Quit) => break,
-            Ok(ShellInput::Pwd) => match s.ws.pwd(&s.net) {
-                Ok(p) => println!("{p}"),
-                Err(e) => println!("{e:?}"),
+            Ok(ShellInput::Pwd) => match session.call(&mut s, RequestBody::Pwd) {
+                ResponseBody::Cwd { path, .. } => println!("{path}"),
+                ResponseBody::Error { message } => println!("{message}"),
+                other => println!("unexpected response: {other:?}"),
             },
-            Ok(ShellInput::Cd(name)) => match s.ws.cd(&s.net, &name) {
-                Ok(_) => {}
-                Err(e) => println!("{e:?}"),
-            },
+            Ok(ShellInput::Cd(name)) => {
+                match session.call(&mut s, RequestBody::Cd { node: name }) {
+                    ResponseBody::Cwd { path, .. } => prompt = path,
+                    ResponseBody::Error { message } => println!("{message}"),
+                    other => println!("unexpected response: {other:?}"),
+                }
+            }
             Ok(ShellInput::Map) => {
                 print!(
                     "{}",
@@ -107,33 +158,30 @@ fn main() {
                 let dropped = s.net.trace.dropped();
                 println!("({shown} events retained, {dropped} dropped)");
             }
-            Ok(ShellInput::Report) => {
-                println!("{}", s.ws.report(&s.net).to_json());
-            }
+            Ok(ShellInput::Report) => match session.call(&mut s, RequestBody::Report) {
+                ResponseBody::Report { json } => println!("{json}"),
+                other => println!("unexpected response: {other:?}"),
+            },
             Ok(ShellInput::Run { secs }) => {
-                s.net.run_for(SimDuration::from_nanos((secs * 1e9) as u64));
-                println!("(advanced {secs} s; now t = {})", s.net.now());
+                let nanos = (secs * 1e9) as u64;
+                match session.call(&mut s, RequestBody::Run { nanos }) {
+                    ResponseBody::Ran { now_ns } => {
+                        println!("(advanced {secs} s; now t = {now_ns} ns)")
+                    }
+                    other => println!("unexpected response: {other:?}"),
+                }
             }
-            Ok(ShellInput::Command(cmd)) => match cmd.resolve(&s.net) {
-                Err(e) => println!("{e}"),
-                Ok(command) => {
-                    // `survey` is the one verb aimed at the broadcast
-                    // group rather than the cd-ed node.
-                    let request = match command {
-                        Command::GroupStatus => CommandRequest::survey(),
-                        c => CommandRequest::new(c),
-                    };
-                    s.ws.clear_transcript();
-                    match s.ws.exec(&mut s.net, request) {
-                        Err(e) => println!("{e:?}"),
-                        Ok(_) => {
-                            for l in s.ws.transcript() {
-                                println!("{l}");
-                            }
+            Ok(ShellInput::Command(cmd)) => {
+                match session.call(&mut s, RequestBody::Exec { command: cmd }) {
+                    ResponseBody::Done { lines, .. } => {
+                        for l in lines {
+                            println!("{l}");
                         }
                     }
+                    ResponseBody::Error { message } => println!("{message}"),
+                    other => println!("unexpected response: {other:?}"),
                 }
-            },
+            }
         }
     }
 }

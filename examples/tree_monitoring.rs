@@ -144,8 +144,11 @@ fn main() {
     print_tree(&s.net);
 
     let exec =
-        s.ws.exec_on(&mut s.net, 1, liteview_repro::liteview::Command::Status)
-            .unwrap();
+        s.ws.exec(
+            &mut s.net,
+            CommandRequest::new(liteview_repro::liteview::Command::Status).on(1),
+        )
+        .unwrap();
     if let CommandResult::Status { neighbors, .. } = exec.result {
         println!("\nnode 192.168.0.2 now reports {neighbors} neighbor(s): its");
         println!("downstream child vanished from the table — the operator sees");

@@ -12,3 +12,12 @@ cargo run --release -q -p lv-bench --bin figures -- --scale --json > BENCH_PR3.j
 cargo run --release -q -p lv-bench --bin figures -- --scale
 
 echo "bench: wrote BENCH_PR3.json"
+
+# PR-6 concurrent-session throughput: a real lv-serve instance on
+# loopback UDP under 32 scripted sessions; the JSON row reports
+# commands/sec plus the server's rate-limit/duplicate/drop counters.
+cargo build --release -q -p lv-serve
+cargo run --release -q -p lv-serve -- --bench-sessions 32 --cmds 8 > BENCH_SERVE.json
+cat BENCH_SERVE.json
+
+echo "bench: wrote BENCH_SERVE.json"

@@ -2,13 +2,35 @@
 
 //! Umbrella crate for the LiteView reproduction.
 //!
-//! Re-exports every workspace crate so examples and integration tests can
-//! use one dependency. See the README for the layer map.
+//! Re-exports every workspace crate so examples and integration tests
+//! can use one dependency, plus a stable façade over the public
+//! diagnosis API — the types an end user touches to drive a diagnosis
+//! session, independent of which crate they happen to live in. See the
+//! README for the layer map.
 
 pub use liteview;
 pub use lv_kernel;
 pub use lv_mac;
 pub use lv_net;
 pub use lv_radio;
+pub use lv_serve;
 pub use lv_sim;
 pub use lv_testbed;
+
+// ---------------------------------------------------------------------
+// Stable façade: the public diagnosis API.
+//
+// `CommandRequest` + `Workstation::exec` is the single entry point for
+// issuing commands; `Execution` is what comes back; `Transport` is the
+// seam a session rides on (deterministic sim in-process, UDP via
+// `lv_serve`); `ObservabilityReport` is the network-wide evidence
+// export. Downstream code should prefer these paths — the crate-level
+// re-exports above are the escape hatch, not the API.
+// ---------------------------------------------------------------------
+
+pub use liteview::{
+    install_suite, Command, CommandRequest, CommandResult, ExecError, Execution,
+    ObservabilityReport, Workstation,
+};
+pub use liteview::{Request, RequestBody, Response, ResponseBody, SessionHost};
+pub use liteview::{SimTransport, Transport, TransportError};
