@@ -30,6 +30,11 @@
 //!   middle link loses 5 dB every 10 s while traceroute watches the
 //!   weakening hop. Hard-fails unless the hop is *detected* before the
 //!   end-to-end ping dies and the path *recovers* after the repair.
+//! * `--diagnosis` replays the seeded fault corpus with the closed-loop
+//!   diagnosis engine armed and scores its episodes against the ground
+//!   truth. Hard-fails unless precision ≥ 0.9, recall ≥ 0.8, every
+//!   link ramp is detected before the end-to-end ping dies, and the
+//!   whole report replays byte-identically.
 //! * `--check-speedup BENCH_PR3.json` re-reads a `--scale --json`
 //!   artifact and fails if the largest deployment's cached-vs-brute
 //!   speedup fell below 3×.
@@ -51,6 +56,7 @@ struct Args {
     scale: bool,
     sizes: Vec<usize>,
     dynamics: bool,
+    diagnosis: bool,
     digests: bool,
     check_digests: Option<String>,
     check_speedup: Option<String>,
@@ -77,6 +83,7 @@ fn parse_args() -> Args {
     let mut scale = false;
     let mut sizes = vec![100, 250, 500, 1000];
     let mut dynamics = false;
+    let mut diagnosis = false;
     let mut digests = false;
     let mut check_digests = None;
     let mut check_speedup = None;
@@ -86,6 +93,7 @@ fn parse_args() -> Args {
             "--report" => report = true,
             "--scale" => scale = true,
             "--dynamics" => dynamics = true,
+            "--diagnosis" => diagnosis = true,
             "--digests" => digests = true,
             "--check-digests" => {
                 check_digests = Some(argv.next().expect("--check-digests <golden file>"));
@@ -127,10 +135,11 @@ fn parse_args() -> Args {
             other => what.push(other.to_owned()),
         }
     }
-    if report || scale || dynamics || digests || check_speedup.is_some() {
-        // `--report` / `--scale` / `--dynamics` / `--digests` /
-        // `--check-speedup` are sessions, not figures: an empty
-        // experiment list stays empty instead of expanding to `all`.
+    if report || scale || dynamics || diagnosis || digests || check_speedup.is_some() {
+        // `--report` / `--scale` / `--dynamics` / `--diagnosis` /
+        // `--digests` / `--check-speedup` are sessions, not figures: an
+        // empty experiment list stays empty instead of expanding to
+        // `all`.
     } else if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
             "fig5",
@@ -163,6 +172,7 @@ fn parse_args() -> Args {
         scale,
         sizes,
         dynamics,
+        diagnosis,
         digests,
         check_digests,
         check_speedup,
@@ -182,6 +192,9 @@ fn main() {
     }
     if args.dynamics {
         dynamics(&args);
+    }
+    if args.diagnosis {
+        diagnosis(&args);
     }
     if let Some(path) = &args.check_speedup {
         check_speedup(path);
@@ -393,6 +406,94 @@ fn dynamics(args: &Args) {
     }
     if !args.json {
         println!("dynamics soak: OK (detect < ping-fail < recover)");
+    }
+}
+
+/// `--diagnosis`: replay the seeded fault corpus with the closed-loop
+/// diagnosis engine armed and score its episodes against the ground
+/// truth. Runs the sweep twice and hard-fails (for the nightly CI job)
+/// on any byte of drift between the two reports, on precision < 0.9 or
+/// recall < 0.8, or on any link ramp that was not detected before the
+/// end-to-end ping died.
+fn diagnosis(args: &Args) {
+    let r = lv_testbed::diagnosis_sweep(args.seed);
+    let json = serde_json::to_string(&r).unwrap();
+    let replay = serde_json::to_string(&lv_testbed::diagnosis_sweep(args.seed)).unwrap();
+    if args.json {
+        println!("{json}");
+    } else {
+        let lines: Vec<Line> = r
+            .rows
+            .iter()
+            .map(|row| {
+                Line(format!(
+                    "{:<12} {:>6} {:>8} {:>8} {:>4} {:>4}   {:>5.2} {:>6.2}   {:>9.0} {:>9.0} {:>12.0}",
+                    row.scenario,
+                    row.labels,
+                    row.episodes,
+                    row.localized,
+                    row.true_positives,
+                    row.false_positives,
+                    row.precision,
+                    row.recall,
+                    row.first_detect_ms,
+                    row.ping_fail_ms,
+                    row.mean_detect_latency_ms,
+                ))
+            })
+            .collect();
+        print!(
+            "{}",
+            table(
+                "Diagnosis sweep — closed-loop engine vs seeded fault corpus",
+                "scenario     labels episodes    local   tp   fp    prec recall   detect[ms] fail[ms]  latency[ms]",
+                &lines
+            )
+        );
+        println!(
+            "precision = {:.3}, recall = {:.3}, digest = {}",
+            r.precision, r.recall, r.digest
+        );
+    }
+    let mut bad = Vec::new();
+    if json != replay {
+        bad.push("two sweeps with the same seed produced different reports".to_owned());
+    }
+    if r.precision < 0.9 {
+        bad.push(format!("precision {:.3} < 0.90", r.precision));
+    }
+    if r.recall < 0.8 {
+        bad.push(format!("recall {:.3} < 0.80", r.recall));
+    }
+    for row in &r.rows {
+        if !row.scenario.starts_with("ramp") {
+            continue;
+        }
+        if row.first_detect_ms < 0.0 {
+            bad.push(format!(
+                "{}: the link fault was never detected",
+                row.scenario
+            ));
+        } else if row.ping_fail_ms < 0.0 {
+            bad.push(format!(
+                "{}: the ramp never killed the end-to-end ping",
+                row.scenario
+            ));
+        } else if row.first_detect_ms >= row.ping_fail_ms {
+            bad.push(format!(
+                "{}: detection ({:.0} ms) did not precede ping failure ({:.0} ms)",
+                row.scenario, row.first_detect_ms, row.ping_fail_ms
+            ));
+        }
+    }
+    if !bad.is_empty() {
+        for b in &bad {
+            eprintln!("diagnosis sweep FAILED: {b}");
+        }
+        std::process::exit(1);
+    }
+    if !args.json {
+        println!("diagnosis sweep: OK (deterministic; detect-before-fail on every ramp)");
     }
 }
 

@@ -1,0 +1,106 @@
+//! Diagnosis episode records — the JSON-exportable evidence trail.
+//!
+//! Every suspicion the online detector confirms (or dismisses) becomes
+//! one [`DiagnosisReport`]: which link drifted, what the baseline said,
+//! the timeline of probes the engine ran, how long detection took, and
+//! where the escalation ladder localized the fault. Reports ride the
+//! same serialization path as the flight recorder — they are embedded
+//! in [`crate::ObservabilityReport`] and served live over the session
+//! protocol's `report diagnose` verb.
+
+use lv_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One timestamped entry in an episode's evidence timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosisEvidence {
+    /// Virtual time of the observation or probe result.
+    pub at: SimTime,
+    /// Human-readable description (`"rssi -71.0 vs baseline -61.2"`,
+    /// `"ping 4: 0/2 replies"`, …).
+    pub what: String,
+}
+
+/// A suggested remediation the engine emits when localization succeeds:
+/// have `node` blacklist `neighbor` so routing stops using the bad link.
+///
+/// The engine only *suggests* — applying the blacklist is the
+/// operator's (or a policy layer's) call, exactly like the paper's
+/// end-user workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlacklistSuggestion {
+    /// The node that should stop using the link.
+    pub node: u16,
+    /// The neighbor to blacklist.
+    pub neighbor: u16,
+}
+
+/// One closed diagnosis episode: suspicion, confirmation probes, and
+/// verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosisReport {
+    /// Monotone episode number within one engine lifetime (1-based).
+    pub episode: u32,
+    /// Transmitting side of the suspect directed link.
+    pub suspect_tx: u16,
+    /// Receiving side of the suspect directed link (where the drift was
+    /// measured).
+    pub suspect_rx: u16,
+    /// What tripped the detector: `"rssi-drift"`, `"lqi-drift"` or
+    /// `"silence"`.
+    pub kind: String,
+    /// Virtual time the suspicion crossed the alarm threshold.
+    pub opened_at: SimTime,
+    /// Virtual time the episode's probe ladder finished.
+    pub closed_at: SimTime,
+    /// The EWMA baseline value the drift was measured against (dBm for
+    /// RSSI, LQI units for LQI, dBm for silence).
+    pub baseline: f64,
+    /// The observed value that tripped the alarm (0 for silence).
+    pub observed: f64,
+    /// Milliseconds from the first half-threshold drift sample (or last
+    /// frame heard, for silence) to the alarm — the time-to-detect
+    /// metric scored by `figures --diagnosis`.
+    pub detect_latency_ms: f64,
+    /// Ping probes the ladder issued.
+    pub pings: u32,
+    /// Traceroute probes the ladder issued.
+    pub traceroutes: u32,
+    /// Localization verdict: `"localized"` (probes implicate the
+    /// suspect link), `"recovered"` (probes found the path healthy) or
+    /// `"unconfirmed"` (probes failed somewhere else / inconclusive).
+    pub verdict: String,
+    /// The link the probe ladder localized the failure to, if any.
+    pub localized_link: Option<(u16, u16)>,
+    /// Suggested remediation when localization succeeds.
+    pub blacklist: Option<BlacklistSuggestion>,
+    /// The evidence timeline, oldest first.
+    pub evidence: Vec<DiagnosisEvidence>,
+}
+
+/// The engine's cumulative output: every closed episode plus detector
+/// health counters, serializable on its own for the `report diagnose`
+/// session verb.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DiagnosisLog {
+    /// Link observations consumed from the kernel tap.
+    pub observations: u64,
+    /// Raw suspicions raised by the detector (pre-cooldown).
+    pub suspicions: u64,
+    /// Directed links with a tracked baseline.
+    pub links_tracked: u64,
+    /// Closed episodes, in open order.
+    pub episodes: Vec<DiagnosisReport>,
+}
+
+impl DiagnosisLog {
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("diagnosis log serializes")
+    }
+
+    /// Parse a log back from JSON (`None` on malformed input).
+    pub fn from_json(s: &str) -> Option<DiagnosisLog> {
+        serde_json::from_str(s).ok()
+    }
+}

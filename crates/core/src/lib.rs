@@ -56,6 +56,7 @@
 
 pub mod commands;
 pub mod controller;
+pub mod diagnose;
 pub mod interpreter;
 pub mod observe;
 pub mod output;
@@ -73,6 +74,10 @@ pub use commands::{
     WORKSTATION_PORT,
 };
 pub use controller::RuntimeController;
+pub use diagnose::{
+    BlacklistSuggestion, DetectorConfig, DiagnosisConfig, DiagnosisEngine, DiagnosisLog,
+    DiagnosisReport, DriftKind, LinkDetector, Suspicion,
+};
 pub use observe::{ExecutionRecord, NodeDelta, ObservabilityReport};
 pub use ping::PingProcess;
 pub use session::{Request, RequestBody, Response, ResponseBody, SessionHost};

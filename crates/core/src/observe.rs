@@ -83,6 +83,10 @@ pub struct ObservabilityReport {
     pub trace_dropped: u64,
     /// One record per command executed through the workstation.
     pub executions: Vec<ExecutionRecord>,
+    /// Closed diagnosis episodes from the automated engine, if armed
+    /// (absent in reports captured before the engine existed).
+    #[serde(default)]
+    pub diagnosis: Vec<crate::diagnose::DiagnosisReport>,
 }
 
 impl ObservabilityReport {
@@ -100,6 +104,7 @@ impl ObservabilityReport {
                 .iter()
                 .map(ExecutionRecord::from_execution)
                 .collect(),
+            diagnosis: Vec::new(),
         }
     }
 
@@ -222,6 +227,7 @@ mod tests {
             timeline: Vec::new(),
             trace_dropped: 0,
             executions: Vec::new(),
+            diagnosis: Vec::new(),
         };
         let json = report.to_json();
         let back = ObservabilityReport::from_json(&json).expect("parses");

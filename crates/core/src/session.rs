@@ -72,6 +72,11 @@ pub enum RequestBody {
     },
     /// Export the network-wide observability report.
     Report,
+    /// Export the automated diagnosis engine's episode log (the shell's
+    /// `report diagnose`). Answered with [`ResponseBody::Report`]
+    /// carrying [`crate::DiagnosisLog`] JSON (an empty log when no
+    /// engine is armed).
+    ReportDiagnosis,
     /// Close the session.
     Bye,
 }
@@ -354,6 +359,9 @@ impl SessionHost {
                     RequestBody::Report => reply(ResponseBody::Report {
                         json: ws.report(net).to_json(),
                     }),
+                    RequestBody::ReportDiagnosis => reply(ResponseBody::Report {
+                        json: ws.diagnosis_log().to_json(),
+                    }),
                     RequestBody::Hello { .. } | RequestBody::Bye => unreachable!("handled above"),
                 }
             }
@@ -575,5 +583,35 @@ mod tests {
             panic!("expected Error");
         };
         assert!(message.contains("cd"), "{message}");
+    }
+
+    #[test]
+    fn report_diagnosis_returns_an_empty_log_when_unarmed() {
+        let (mut net, mut ws) = tiny_net();
+        let mut host = SessionHost::new();
+        host.apply(
+            &mut net,
+            &mut ws,
+            1,
+            &req(
+                1,
+                0,
+                RequestBody::Hello {
+                    version: PROTOCOL_VERSION,
+                },
+            ),
+        );
+        let r = host.apply(
+            &mut net,
+            &mut ws,
+            1,
+            &req(1, 1, RequestBody::ReportDiagnosis),
+        );
+        let ResponseBody::Report { json } = r.body else {
+            panic!("expected Report, got {:?}", r.body);
+        };
+        let log = crate::diagnose::DiagnosisLog::from_json(&json).expect("parseable log");
+        assert_eq!(log.observations, 0);
+        assert!(log.episodes.is_empty());
     }
 }

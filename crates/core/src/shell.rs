@@ -113,6 +113,9 @@ pub enum ShellInput {
     /// `report` — export the network-wide observability report as JSON
     /// (REPL-only verb).
     Report,
+    /// `report diagnose` — export the automated diagnosis engine's
+    /// episode log as JSON.
+    ReportDiagnosis,
     /// A node-targeted command.
     Command(ShellCommand),
     /// Empty line / comment.
@@ -186,7 +189,13 @@ pub fn parse_line(line: &str) -> Result<ShellInput, ParseError> {
         "trace" => Ok(ShellInput::TraceDump {
             node: rest.first().map(|s| s.to_string()),
         }),
-        "report" => Ok(ShellInput::Report),
+        "report" => match rest.first() {
+            Some(&"diagnose") => Ok(ShellInput::ReportDiagnosis),
+            Some(other) => Err(ParseError(format!(
+                "report: unknown sub-report {other} (try `report` or `report diagnose`)"
+            ))),
+            None => Ok(ShellInput::Report),
+        },
         "help" | "?" => Ok(ShellInput::Help),
         "quit" | "exit" => Ok(ShellInput::Quit),
         "run" => {
@@ -364,6 +373,7 @@ LiteView shell commands:
   stats [name]                   flight-recorder counters per node
   trace [name]                   dump the retained event timeline
   report                         export the observability report (JSON)
+  report diagnose                export the automated diagnosis log (JSON)
   help                           this text
   quit                           leave the shell";
 
@@ -507,6 +517,11 @@ mod tests {
             }
         );
         assert_eq!(parse_line("report").unwrap(), ShellInput::Report);
+        assert_eq!(
+            parse_line("report diagnose").unwrap(),
+            ShellInput::ReportDiagnosis
+        );
+        assert!(parse_line("report bogus").is_err());
     }
 
     #[test]

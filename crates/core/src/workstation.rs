@@ -11,6 +11,7 @@
 use crate::commands::{
     Command, CommandResult, Execution, PingOutcome, TraceHop, TraceOutcome, GROUP_TARGET,
 };
+use crate::diagnose::{DiagnosisConfig, DiagnosisEngine, DiagnosisLog};
 use crate::interpreter::{Interpreter, QueuedCommand, SharedWsState, WsState, KICK};
 use crate::observe::{NodeDelta, ObservabilityReport};
 use crate::output;
@@ -38,6 +39,7 @@ pub struct Workstation {
     next_req: u8,
     transcript: Vec<String>,
     history: Vec<Execution>,
+    diagnosis: Option<DiagnosisEngine>,
 }
 
 /// Errors from the shell-like surface.
@@ -239,6 +241,7 @@ impl Workstation {
             next_req: 1,
             transcript: Vec::new(),
             history: Vec::new(),
+            diagnosis: None,
         }
     }
 
@@ -294,7 +297,49 @@ impl Workstation {
     /// executed so far. JSON-exportable via
     /// [`ObservabilityReport::to_json`].
     pub fn report(&self, net: &Network) -> ObservabilityReport {
-        ObservabilityReport::capture(net, &self.history)
+        let mut report = ObservabilityReport::capture(net, &self.history);
+        if let Some(engine) = &self.diagnosis {
+            report.diagnosis = engine.episodes().to_vec();
+        }
+        report
+    }
+
+    /// Arm the closed-loop diagnosis engine (`DESIGN.md` §14): enables
+    /// the kernel's passive link-observation tap and attaches a
+    /// [`DiagnosisEngine`] that [`Workstation::poll_diagnosis`] drives.
+    /// Re-arming replaces the engine and clears its episode history.
+    pub fn arm_diagnosis(&mut self, net: &mut Network, cfg: DiagnosisConfig) {
+        net.set_link_obs(cfg.obs_capacity);
+        self.diagnosis = Some(DiagnosisEngine::new(cfg));
+    }
+
+    /// Whether a diagnosis engine is armed.
+    pub fn diagnosis_armed(&self) -> bool {
+        self.diagnosis.is_some()
+    }
+
+    /// Drive the armed diagnosis engine one step: drain the kernel tap,
+    /// feed the detector, and run the probe ladder for fresh alarms
+    /// (which executes commands and advances virtual time). Returns how
+    /// many episodes were opened; 0 when no engine is armed.
+    pub fn poll_diagnosis(&mut self, net: &mut Network) -> usize {
+        // Take/put-back so the engine can borrow the workstation for
+        // its probe executions.
+        let Some(mut engine) = self.diagnosis.take() else {
+            return 0;
+        };
+        let opened = engine.poll(net, self);
+        self.diagnosis = Some(engine);
+        opened
+    }
+
+    /// The armed engine's cumulative log (empty when not armed) — the
+    /// payload of the session protocol's `report diagnose` verb.
+    pub fn diagnosis_log(&self) -> DiagnosisLog {
+        self.diagnosis
+            .as_ref()
+            .map(DiagnosisEngine::log)
+            .unwrap_or_default()
     }
 
     fn alloc_req(&mut self) -> u8 {

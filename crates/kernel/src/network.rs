@@ -197,6 +197,31 @@ impl Default for NetworkConfig {
     }
 }
 
+/// One passively observed reception on a directed link, recorded when
+/// the link-observation tap is armed (see [`Network::set_link_obs`]).
+///
+/// This is the raw signal the closed-loop diagnosis engine consumes:
+/// every successfully received beacon or data frame yields one sample
+/// of the link's RSSI/LQI as seen at the receiver, timestamped in
+/// virtual time. The tap is off by default (capacity 0) so it costs
+/// nothing and changes nothing unless a diagnostician arms it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkObs {
+    /// Virtual time of the reception.
+    pub at: SimTime,
+    /// Transmitting node (the far end of the directed link).
+    pub tx: u16,
+    /// Receiving node (where the RSSI/LQI was measured).
+    pub rx: u16,
+    /// Link-quality indicator of the received frame (CC2420 register
+    /// semantics, ~50–110).
+    pub lqi: u8,
+    /// Received signal strength register value, in dBm.
+    pub rssi: i8,
+    /// Whether the frame was a neighbor beacon (vs. a data frame).
+    pub beacon: bool,
+}
+
 /// The simulated deployment.
 pub struct Network {
     /// The shared wireless medium.
@@ -237,6 +262,11 @@ pub struct Network {
     /// Runtime invariant auditor (`None` = disabled, the default).
     /// See [`crate::audit`].
     audit: Option<AuditLog>,
+    /// Bounded ring of passive link observations (the diagnosis tap);
+    /// empty and disabled unless `link_obs_cap > 0`.
+    link_obs: std::collections::VecDeque<LinkObs>,
+    /// Capacity of `link_obs`; 0 disables recording entirely.
+    link_obs_cap: usize,
 }
 
 impl Network {
@@ -271,6 +301,8 @@ impl Network {
             counters: Counters::new(),
             trace: Trace::disabled(),
             audit: None,
+            link_obs: std::collections::VecDeque::new(),
+            link_obs_cap: 0,
         };
         for i in 0..n as u16 {
             if net.config.beacons_enabled {
@@ -290,6 +322,38 @@ impl Network {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Arm (`cap > 0`) or disarm (`cap = 0`) the passive link-
+    /// observation tap. While armed, every successfully received beacon
+    /// or data frame is recorded as a [`LinkObs`] in a ring bounded to
+    /// `cap` entries (oldest dropped first); [`Network::take_link_obs`]
+    /// drains it. Disarming also clears any buffered observations.
+    pub fn set_link_obs(&mut self, cap: usize) {
+        self.link_obs_cap = cap;
+        if cap == 0 {
+            self.link_obs.clear();
+        } else {
+            while self.link_obs.len() > cap {
+                self.link_obs.pop_front();
+            }
+        }
+    }
+
+    /// Drain all link observations recorded since the last call, oldest
+    /// first. Empty unless the tap is armed via [`Network::set_link_obs`].
+    pub fn take_link_obs(&mut self) -> Vec<LinkObs> {
+        self.link_obs.drain(..).collect()
+    }
+
+    fn record_link_obs(&mut self, obs: LinkObs) {
+        if self.link_obs_cap == 0 {
+            return;
+        }
+        if self.link_obs.len() >= self.link_obs_cap {
+            self.link_obs.pop_front();
+        }
+        self.link_obs.push_back(obs);
     }
 
     /// Total events dispatched by the loop so far.
@@ -892,6 +956,14 @@ impl Network {
                 if let Some(b) = BeaconPayload::decode(&frame.payload) {
                     self.nodes[idx].stack.on_beacon(frame.src, &b, now);
                     self.counters.incr_id(CounterId::RxBeacon);
+                    self.record_link_obs(LinkObs {
+                        at: now,
+                        tx: frame.src,
+                        rx: node,
+                        lqi: rx.lqi,
+                        rssi: rx.rssi,
+                        beacon: true,
+                    });
                     if self.trace.accepts(TraceLevel::Debug) {
                         self.trace.emit(
                             now,
@@ -907,6 +979,14 @@ impl Network {
                     self.counters.incr_id(CounterId::RxGarbled);
                     return;
                 };
+                self.record_link_obs(LinkObs {
+                    at: now,
+                    tx: frame.src,
+                    rx: node,
+                    lqi: rx.lqi,
+                    rssi: rx.rssi,
+                    beacon: false,
+                });
                 let hop = HopQuality {
                     lqi: rx.lqi,
                     rssi: rx.rssi,

@@ -197,6 +197,15 @@ impl<T: Transport> Client<T> {
         }
     }
 
+    /// Export the automated diagnosis engine's episode log (JSON).
+    /// An empty log when the hosted deployment has no engine armed.
+    pub fn report_diagnosis(&mut self) -> Result<String, ClientError> {
+        match self.call(RequestBody::ReportDiagnosis)? {
+            ResponseBody::Report { json } => Ok(json),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     /// Close the session.
     pub fn bye(&mut self) -> Result<(), ClientError> {
         match self.call(RequestBody::Bye)? {

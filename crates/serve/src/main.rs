@@ -231,6 +231,10 @@ fn client_mode(addr: &str) -> i32 {
                 Ok(json) => println!("{json}"),
                 Err(e) => println!("{e}"),
             },
+            Ok(ShellInput::ReportDiagnosis) => match client.report_diagnosis() {
+                Ok(json) => println!("{json}"),
+                Err(e) => println!("{e}"),
+            },
             Ok(ShellInput::Map)
             | Ok(ShellInput::Stats { .. })
             | Ok(ShellInput::TraceDump { .. }) => {

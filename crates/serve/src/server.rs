@@ -11,7 +11,10 @@
 //! * **idle timeout** — sessions that go quiet are evicted;
 //! * **duplicate suppression** — the last response per session is
 //!   cached by sequence number, so a client retransmitting a lost
-//!   request gets the original answer instead of a re-execution;
+//!   request gets the original answer instead of a re-execution. Only
+//!   successful/terminal responses are cached; transient refusals
+//!   (rate limiting) are not, so a backed-off retry of the same seq
+//!   executes normally;
 //! * **graceful shutdown** — pending requests are drained, every open
 //!   session is sent a `Bye`, and the transport is torn down.
 //!
@@ -189,7 +192,10 @@ impl<T: Transport> Server<T> {
                         message: "rate limited; slow down".to_owned(),
                     },
                 };
-                self.send_response(key, &resp, true);
+                // Transient refusal: do NOT cache it as last_reply, or a
+                // client that backs off and retries the same seq would
+                // replay the stale error forever instead of executing.
+                self.send_response(key, &resp, false);
                 return Ok(true);
             }
             m.tokens -= 1.0;
@@ -414,6 +420,39 @@ mod tests {
     }
 
     #[test]
+    fn rate_limit_error_is_not_cached_for_same_seq_retry() {
+        let (mut server, mut client) = sim_server(ServerConfig {
+            rate_limit: 20.0,
+            burst: 1.0,
+            ..ServerConfig::default()
+        });
+        // Hello consumes the only token in the bucket.
+        call(&mut client, &mut server, &hello(1));
+        let cd = Request {
+            session: 1,
+            seq: 2,
+            body: RequestBody::Cd {
+                node: "192.168.0.1".into(),
+            },
+        };
+        let r = call(&mut client, &mut server, &cd);
+        assert!(
+            matches!(&r.body, ResponseBody::Error { message } if message.contains("rate")),
+            "bucket should be exhausted: {r:?}"
+        );
+        // The well-behaved client backs off past a refill interval and
+        // retries the SAME seq — it must execute, not replay the error.
+        std::thread::sleep(Duration::from_millis(150));
+        let r = call(&mut client, &mut server, &cd);
+        assert!(matches!(r.body, ResponseBody::Cwd { .. }), "{r:?}");
+        assert_eq!(
+            server.stats().duplicates,
+            0,
+            "stale rate-limit error was replayed from the dup cache"
+        );
+    }
+
+    #[test]
     fn max_sessions_is_enforced() {
         let (mut server, mut client) = sim_server(ServerConfig {
             max_sessions: 2,
@@ -447,6 +486,24 @@ mod tests {
         assert_eq!(server.sweep_idle(), 1);
         assert_eq!(server.session_count(), 0);
         assert_eq!(server.stats().idle_evicted, 1);
+    }
+
+    #[test]
+    fn sweep_idle_evicts_sessions_holding_cached_replies() {
+        let (mut server, mut client) = sim_server(ServerConfig {
+            idle_timeout: Duration::from_millis(1),
+            ..ServerConfig::default()
+        });
+        // Hello's Welcome is cached as the session's last_reply.
+        call(&mut client, &mut server, &hello(1));
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(server.sweep_idle(), 1);
+        assert_eq!(server.session_count(), 0);
+        // A same-seq retransmit after eviction must be served fresh —
+        // the cached reply died with the session, not as a ghost dup.
+        let again = call(&mut client, &mut server, &hello(1));
+        assert!(matches!(again.body, ResponseBody::Welcome { .. }));
+        assert_eq!(server.stats().duplicates, 0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -220,7 +220,7 @@ impl UdpTransport {
         let partial = self.partials.get_mut(&key)?;
         if partial.chunks.len() != total {
             // Header disagreement — drop the whole frame.
-            self.partials.remove(&key);
+            self.forget_partial(&key);
             return None;
         }
         if partial.chunks[idx].is_none() {
@@ -228,14 +228,17 @@ impl UdpTransport {
             partial.have += 1;
         }
         if partial.have == total {
-            let done = self.partials.remove(&key)?;
+            let done = self.forget_partial(&key)?;
             let mut frame = Vec::new();
             for c in done.chunks {
                 frame.extend_from_slice(&c?);
             }
             return Some(frame);
         }
-        // Bound the reassembly table: recycle the oldest slots.
+        // Bound the reassembly table: recycle the oldest slots. Because
+        // completed/aborted frames are pruned from `partial_order` too,
+        // every queued key here is a live partial and popping the front
+        // recycles the genuinely oldest one.
         while self.partials.len() > MAX_PARTIALS {
             if let Some(old) = self.partial_order.pop_front() {
                 self.partials.remove(&old);
@@ -244,6 +247,19 @@ impl UdpTransport {
             }
         }
         None
+    }
+
+    /// Remove a partial frame from both the table and the age queue so
+    /// `partial_order` stays in lockstep with `partials` (it would
+    /// otherwise grow without bound on a long-lived transport).
+    fn forget_partial(&mut self, key: &(PeerId, u32)) -> Option<PartialFrame> {
+        let dropped = self.partials.remove(key);
+        if dropped.is_some() {
+            if let Some(pos) = self.partial_order.iter().position(|k| k == key) {
+                self.partial_order.remove(pos);
+            }
+        }
+        dropped
     }
 }
 
@@ -330,7 +346,13 @@ impl Transport for UdpTransport {
         let deadline = wait.map(|d| Instant::now() + d);
         loop {
             let next = match deadline {
-                None => self.rx.try_recv().ok(),
+                None => match self.rx.try_recv() {
+                    Ok(x) => Some(x),
+                    Err(TryRecvError::Empty) => None,
+                    // The rx thread is gone: surface it instead of
+                    // letting pollers spin on a dead transport forever.
+                    Err(TryRecvError::Disconnected) => return Err(TransportError::Closed),
+                },
                 Some(deadline) => {
                     let left = deadline.saturating_duration_since(Instant::now());
                     match self.rx.recv_timeout(left) {
@@ -443,6 +465,113 @@ mod tests {
         client.shutdown();
         assert_eq!(client.send(0, b"x"), Err(TransportError::Closed));
         server.shutdown();
+    }
+
+    /// Craft a raw chunk datagram as `send` would emit it.
+    fn datagram(frame_id: u32, idx: u16, total: u16, payload: &[u8]) -> Vec<u8> {
+        let mut d = Vec::with_capacity(CHUNK_HEADER + payload.len());
+        d.push(MAGIC);
+        d.extend_from_slice(&frame_id.to_be_bytes());
+        d.extend_from_slice(&idx.to_be_bytes());
+        d.extend_from_slice(&total.to_be_bytes());
+        d.extend_from_slice(payload);
+        d
+    }
+
+    #[test]
+    fn completed_frames_drain_the_reassembly_queue() {
+        // Soak: many completed multi-chunk frames must not leave keys
+        // behind in `partial_order` (it used to grow one entry per
+        // completed frame, unbounded).
+        let mut t = UdpTransport::bind("127.0.0.1:0", UdpConfig::default()).unwrap();
+        let peer: PeerId = 0;
+        for id in 0..1000u32 {
+            assert!(t
+                .deliver_chunk(peer, &datagram(id, 0, 2, b"first|"))
+                .is_none());
+            let frame = t
+                .deliver_chunk(peer, &datagram(id, 1, 2, b"second"))
+                .expect("frame completes");
+            assert_eq!(frame, b"first|second");
+            assert!(t.partials.is_empty(), "no live partials after completion");
+            assert!(
+                t.partial_order.is_empty(),
+                "partial_order leaked {} keys by frame {id}",
+                t.partial_order.len()
+            );
+        }
+    }
+
+    #[test]
+    fn header_disagreement_drains_both_tables() {
+        let mut t = UdpTransport::bind("127.0.0.1:0", UdpConfig::default()).unwrap();
+        let peer: PeerId = 0;
+        assert!(t.deliver_chunk(peer, &datagram(9, 0, 3, b"a")).is_none());
+        assert_eq!(t.partial_order.len(), 1);
+        // Same frame id, contradictory chunk count: abort the frame.
+        assert!(t.deliver_chunk(peer, &datagram(9, 1, 5, b"b")).is_none());
+        assert!(t.partials.is_empty());
+        assert!(
+            t.partial_order.is_empty(),
+            "aborted frame left its key queued"
+        );
+    }
+
+    #[test]
+    fn lossy_partials_recycle_and_wrapped_frame_ids_do_not_splice() {
+        let mut t = UdpTransport::bind("127.0.0.1:0", UdpConfig::default()).unwrap();
+        let peer: PeerId = 0;
+        // A frame loses its second chunk and lingers as a partial.
+        assert!(t
+            .deliver_chunk(peer, &datagram(7, 0, 2, b"STALE!"))
+            .is_none());
+        // Enough later incomplete frames cycle the MAX_PARTIALS slots…
+        for id in 0..MAX_PARTIALS as u32 {
+            assert!(t
+                .deliver_chunk(peer, &datagram(1000 + id, 0, 2, b"x"))
+                .is_none());
+            assert!(t.partials.len() <= MAX_PARTIALS);
+            assert_eq!(
+                t.partials.len(),
+                t.partial_order.len(),
+                "tables in lockstep"
+            );
+        }
+        // …which must have recycled the stale frame, oldest first.
+        assert!(
+            !t.partials.contains_key(&(peer, 7)),
+            "stale partial survived {MAX_PARTIALS} newer slots"
+        );
+        // A later frame reusing the wrapped id 7 reassembles cleanly
+        // from its own chunks only.
+        assert!(t
+            .deliver_chunk(peer, &datagram(7, 0, 2, b"fresh-"))
+            .is_none());
+        let frame = t
+            .deliver_chunk(peer, &datagram(7, 1, 2, b"frame"))
+            .expect("reused id completes");
+        assert_eq!(
+            frame, b"fresh-frame",
+            "stale chunks spliced into reused frame id"
+        );
+    }
+
+    #[test]
+    fn poll_recv_reports_closed_when_rx_thread_dies() {
+        let mut t = UdpTransport::bind("127.0.0.1:0", UdpConfig::default()).unwrap();
+        // Kill the rx thread without marking the transport closed — as
+        // if the thread panicked or its socket died.
+        t.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = t.rx_thread.take() {
+            h.join().unwrap();
+        }
+        // Poll mode must surface Closed, not report an idle transport.
+        assert_eq!(t.recv(None), Err(TransportError::Closed));
+        // And the blocking path agrees.
+        assert_eq!(
+            t.recv(Some(Duration::from_millis(5))),
+            Err(TransportError::Closed)
+        );
     }
 
     #[test]

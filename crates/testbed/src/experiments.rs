@@ -1151,7 +1151,7 @@ pub fn scale_sweep(sizes: &[usize], seed: u64) -> Vec<ScaleRow> {
 /// FNV-1a 64 over `bytes`. `DefaultHasher` is only documented as stable
 /// within one process; the golden digests checked into the repo must
 /// survive toolchain upgrades, so the gate uses a fixed algorithm.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

@@ -25,6 +25,7 @@
 //! * [`results`] — serializable row types the `figures` harness prints.
 //! * [`map`] — ASCII deployment maps for the interactive shell.
 
+pub mod diagnosis;
 pub mod dynamics;
 pub mod experiments;
 pub mod failures;
@@ -35,6 +36,7 @@ pub mod scenario;
 pub mod stats;
 pub mod topology;
 
+pub use diagnosis::{diagnosis_sweep, fault_corpus, DiagnosisScenario, FaultLabel, FaultScope};
 pub use dynamics::{DynamicsEvent, DynamicsPlan};
 pub use runner::{FailureMode, FailurePlan, TrialCtx, TrialRunner};
 pub use scenario::{Scenario, ScenarioConfig};

@@ -192,6 +192,56 @@ pub struct DynamicsSoakReport {
     pub audit_violations: u64,
 }
 
+/// One scenario of the `figures --diagnosis` seeded-fault sweep,
+/// scored against its ground-truth labels.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiagnosisSweepRow {
+    /// Scenario name (`ramp-mid`, `ramp-near`, `noise-burst`, `churn`,
+    /// `quiet`).
+    pub scenario: String,
+    /// Ground-truth fault labels seeded into the scenario.
+    pub labels: u64,
+    /// Labels with at least one matching episode (recall numerator).
+    pub labels_detected: u64,
+    /// Diagnosis episodes the engine opened.
+    pub episodes: u64,
+    /// Episodes that match a seeded label in scope and window.
+    pub true_positives: u64,
+    /// Episodes matching no label (spurious alarms).
+    pub false_positives: u64,
+    /// Episodes whose ladder localized a link.
+    pub localized: u64,
+    /// Fraction of episodes that were true positives (1.0 when the
+    /// engine stayed silent).
+    pub precision: f64,
+    /// Fraction of labels detected (1.0 when nothing was seeded).
+    pub recall: f64,
+    /// Virtual time (ms) the first matching episode opened; -1 if none.
+    pub first_detect_ms: f64,
+    /// Virtual time (ms) the end-to-end measurement ping first failed
+    /// after fault onset; -1 if it never failed.
+    pub ping_fail_ms: f64,
+    /// Mean detector latency (first drift → alarm) over matching
+    /// episodes, ms; -1 when there were none.
+    pub mean_detect_latency_ms: f64,
+}
+
+/// Outcome of the whole seeded-fault diagnosis sweep. The nightly gate
+/// requires `precision >= 0.9`, `recall >= 0.8`, and — for the link-ramp
+/// scenarios — detection strictly before the end-to-end ping died.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiagnosisSweepReport {
+    /// Per-scenario scores.
+    pub rows: Vec<DiagnosisSweepRow>,
+    /// Micro-averaged precision across all scenarios.
+    pub precision: f64,
+    /// Micro-averaged recall across all scenarios.
+    pub recall: f64,
+    /// FNV-1a digest over the serialized rows (replay determinism
+    /// handle for the CI gate).
+    pub digest: String,
+}
+
 /// Pretty-print any serializable row set as indented JSON lines.
 pub fn to_json_lines<T: Serialize>(rows: &[T]) -> String {
     rows.iter()

@@ -162,6 +162,12 @@ fn main() {
                 ResponseBody::Report { json } => println!("{json}"),
                 other => println!("unexpected response: {other:?}"),
             },
+            Ok(ShellInput::ReportDiagnosis) => {
+                match session.call(&mut s, RequestBody::ReportDiagnosis) {
+                    ResponseBody::Report { json } => println!("{json}"),
+                    other => println!("unexpected response: {other:?}"),
+                }
+            }
             Ok(ShellInput::Run { secs }) => {
                 let nanos = (secs * 1e9) as u64;
                 match session.call(&mut s, RequestBody::Run { nanos }) {

@@ -21,3 +21,13 @@ cargo run --release -q -p lv-serve -- --bench-sessions 32 --cmds 8 > BENCH_SERVE
 cat BENCH_SERVE.json
 
 echo "bench: wrote BENCH_SERVE.json"
+
+# PR-7 closed-loop diagnosis: replays the seeded fault corpus with the
+# engine armed and records per-scenario precision/recall plus
+# detection-latency statistics. The run itself gates (precision >= 0.9,
+# recall >= 0.8, detect-before-fail on every ramp), so a regression
+# fails the script before the artifact is refreshed.
+cargo run --release -q -p lv-bench --bin figures -- --diagnosis --json > BENCH_DIAGNOSIS.json
+cat BENCH_DIAGNOSIS.json
+
+echo "bench: wrote BENCH_DIAGNOSIS.json"

@@ -19,4 +19,7 @@ cargo run --release -q -p lv-bench --bin figures -- --scale --sizes 100
 echo "== determinism digest gate (goldens/figure_digests.json) =="
 cargo run --release -q -p lv-bench --bin figures -- --check-digests goldens/figure_digests.json
 
+echo "== diagnosis sweep gate (precision/recall + detect-before-fail) =="
+cargo run --release -q -p lv-bench --bin figures -- --diagnosis
+
 echo "verify: OK"
