@@ -19,12 +19,16 @@ pub struct LogEntry {
 }
 
 /// A bounded, switchable event log.
+///
+/// Like the simulator's trace sink, eviction is batched: the backing
+/// buffer may grow to twice the retention capacity and is compacted in
+/// one `drain` per `capacity` records — amortized O(1) per record.
 #[derive(Debug, Clone)]
 pub struct EventLog {
     enabled: bool,
     capacity: usize,
     entries: Vec<LogEntry>,
-    overwritten: u64,
+    recorded: u64,
 }
 
 impl EventLog {
@@ -34,7 +38,7 @@ impl EventLog {
             enabled: false,
             capacity: capacity.max(1),
             entries: Vec::new(),
-            overwritten: 0,
+            recorded: 0,
         }
     }
 
@@ -48,41 +52,49 @@ impl EventLog {
         self.enabled
     }
 
+    /// The last `capacity` entries of the backing buffer (anything older
+    /// is logically evicted, pending compaction).
+    fn retained(&self) -> &[LogEntry] {
+        let start = self.entries.len().saturating_sub(self.capacity);
+        &self.entries[start..]
+    }
+
     /// Record an event if enabled.
     pub fn record(&mut self, at: SimTime, code: &'static str, detail: impl Into<String>) {
         if !self.enabled {
             return;
         }
-        if self.entries.len() == self.capacity {
-            self.entries.remove(0);
-            self.overwritten += 1;
+        if self.entries.len() >= self.capacity * 2 {
+            let excess = self.entries.len() - self.capacity;
+            self.entries.drain(..excess);
         }
         self.entries.push(LogEntry {
             at,
             code,
             detail: detail.into(),
         });
+        self.recorded += 1;
     }
 
     /// All retained entries, oldest first.
     pub fn entries(&self) -> &[LogEntry] {
-        &self.entries
+        self.retained()
     }
 
     /// Entries with a given code.
     pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a LogEntry> + 'a {
-        self.entries.iter().filter(move |e| e.code == code)
+        self.retained().iter().filter(move |e| e.code == code)
     }
 
     /// How many entries have been lost to the capacity bound.
     pub fn overwritten(&self) -> u64 {
-        self.overwritten
+        self.recorded - self.retained().len() as u64
     }
 
     /// Drop everything recorded so far.
     pub fn clear(&mut self) {
         self.entries.clear();
-        self.overwritten = 0;
+        self.recorded = 0;
     }
 }
 
@@ -124,6 +136,19 @@ mod tests {
         assert_eq!(log.entries().len(), 2);
         assert_eq!(log.overwritten(), 3);
         assert_eq!(log.entries()[0].detail, "3");
+    }
+
+    #[test]
+    fn batched_compaction_preserves_ring_semantics() {
+        let mut log = EventLog::new(3);
+        log.set_enabled(true);
+        for i in 0..50u64 {
+            log.record(SimTime::from_millis(i), "e", i.to_string());
+        }
+        let details: Vec<&str> = log.entries().iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["47", "48", "49"]);
+        assert_eq!(log.overwritten(), 47);
+        assert_eq!(log.with_code("e").count(), 3);
     }
 
     #[test]

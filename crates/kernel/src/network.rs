@@ -28,6 +28,13 @@ use lv_sim::{CounterId, Counters, EventQueue, SimDuration, SimTime, Trace, Trace
 use std::sync::Arc;
 
 /// Events the loop dispatches.
+///
+/// This is the *decoded* form handed to `dispatch`; what actually sits
+/// in the future-event queue is the 16-byte [`QEvent`], with the three
+/// large payloads (packets, frames, dynamics actions) parked in the
+/// [`EventArena`] and referenced by slot index. Encoding happens in
+/// [`Network::enqueue`], decoding right after each pop — so the binary
+/// heap sifts plain-old-data instead of the full enum.
 #[derive(Debug)]
 enum Event {
     ProcessStart {
@@ -158,6 +165,120 @@ pub enum DynamicsAction {
     },
 }
 
+/// Discriminant of a queued [`QEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QKind {
+    ProcessStart,
+    Timer,
+    LocalDeliver,
+    MacCca,
+    MacAckTimeout,
+    TxEnd,
+    RxEnd,
+    SendAck,
+    TxStart,
+    Beacon,
+    Housekeeping,
+    Dynamics,
+}
+
+/// The queued form of an [`Event`]: 16 bytes of plain data, so a heap
+/// entry (with time + FIFO sequence) is 32 bytes and sift operations
+/// move words, not enum payloads. Field use per kind:
+///
+/// | kind          | `node` | `b`                  | `c`          |
+/// |---------------|--------|----------------------|--------------|
+/// | ProcessStart  | node   | pid                  | —            |
+/// | Timer         | node   | pid                  | token        |
+/// | LocalDeliver  | node   | pid                  | packet slot  |
+/// | MacCca        | node   | —                    | token        |
+/// | MacAckTimeout | node   | —                    | token        |
+/// | TxEnd / RxEnd | node   | —                    | tx id        |
+/// | SendAck       | node   | dst \| seq << 16     | —            |
+/// | TxStart       | node   | frame slot           | —            |
+/// | Beacon / Hk   | node   | —                    | —            |
+/// | Dynamics      | —      | action slot          | —            |
+#[derive(Debug, Clone, Copy)]
+struct QEvent {
+    kind: QKind,
+    node: u16,
+    b: u32,
+    c: u64,
+}
+
+/// A slab with a LIFO free list: O(1) insert/take, stable `u32` slot
+/// indices, no per-item heap allocation beyond the payload itself.
+#[derive(Debug)]
+struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Slab<T> {
+    fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(
+                    self.slots[i as usize].is_none(),
+                    "free list aliased a live slot"
+                );
+                self.slots[i as usize] = Some(value);
+                i
+            }
+            None => {
+                self.slots.push(Some(value));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Reclaim slot `i`. `None` means the slot was empty — a
+    /// double-take the caller must surface as an anomaly, not a panic.
+    fn take(&mut self, i: u32) -> Option<T> {
+        let v = self.slots.get_mut(i as usize).and_then(Option::take)?;
+        self.free.push(i);
+        Some(v)
+    }
+
+    /// Number of live (allocated, not yet taken) slots.
+    fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+/// Payload storage for queued events: one slab per payload type. A slot
+/// is allocated when its event is enqueued and reclaimed exactly once,
+/// when the event pops — so `live()` always equals the number of
+/// payload-carrying events currently in the queue.
+#[derive(Debug)]
+struct EventArena {
+    packets: Slab<NetPacket>,
+    frames: Slab<Frame>,
+    dynamics: Slab<DynamicsAction>,
+}
+
+impl EventArena {
+    fn new() -> Self {
+        EventArena {
+            packets: Slab::new(),
+            frames: Slab::new(),
+            dynamics: Slab::new(),
+        }
+    }
+
+    /// Total live payload slots across all slabs.
+    fn live(&self) -> usize {
+        self.packets.live() + self.frames.live() + self.dynamics.live()
+    }
+}
+
 /// An in-flight (or recently finished) transmission. The frame is
 /// reference-counted so the fan-out to many receivers shares one
 /// allocation instead of cloning the payload per receiver.
@@ -169,6 +290,146 @@ struct ActiveTx {
     end: SimTime,
     frame: Arc<Frame>,
     wire_len: usize,
+    /// Tombstone: the sender died mid-frame. Lookups miss and scans
+    /// skip it, but the slot keeps its place so the table's start
+    /// ordering (and thus the binary-searched scan floor) stays valid.
+    aborted: bool,
+}
+
+/// The active-transmission table. Ids are assigned in start order and
+/// only ever pruned from the front, so a `VecDeque` with a sliding
+/// `base` replaces the seed's `BTreeMap`: O(1) insert and lookup,
+/// binary-searchable start times, and range scans that walk
+/// contiguous memory in ascending id order (preserving the float
+/// accumulation order of the interference sums exactly).
+///
+/// Two deliberate divergences from the map, both observationally
+/// inert:
+/// - aborted transmissions are tombstoned in place instead of removed;
+///   every reader skips them (`get` misses, scans filter), and they
+///   leave with the prefix prune;
+/// - a mid-table entry whose frame ended before the prune horizon
+///   waits for the front to catch up instead of being retained away.
+///   Such entries fail every overlap/time filter before any
+///   RNG-consuming check, so keeping them changes no outcome and no
+///   draw count.
+struct TxTable {
+    base: u64,
+    slots: std::collections::VecDeque<ActiveTx>,
+    /// Struct-of-arrays mirror of the fields the busy / interference /
+    /// CCA scans read, kept in index lockstep with `slots`. A scan pass
+    /// walks these dense 24-byte rows instead of the `Arc`-carrying
+    /// `ActiveTx` structs, so the per-reception sweep stays in one or
+    /// two cache lines.
+    rows: std::collections::VecDeque<ScanRow>,
+}
+
+/// Compact scan-side view of one [`ActiveTx`] (see [`TxTable::rows`]).
+#[derive(Clone, Copy)]
+struct ScanRow {
+    start: SimTime,
+    end: SimTime,
+    sender: u16,
+    channel: Channel,
+    power: lv_radio::PowerLevel,
+    aborted: bool,
+}
+
+impl TxTable {
+    fn new() -> Self {
+        TxTable {
+            base: 0,
+            slots: std::collections::VecDeque::new(),
+            rows: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Append the next transmission; `id` must be the next id in order.
+    fn push(&mut self, id: u64, tx: ActiveTx) {
+        debug_assert_eq!(
+            id,
+            self.base + self.slots.len() as u64,
+            "tx ids must be appended in order"
+        );
+        self.rows.push_back(ScanRow {
+            start: tx.start,
+            end: tx.end,
+            sender: tx.sender,
+            channel: tx.channel,
+            power: tx.power,
+            aborted: tx.aborted,
+        });
+        self.slots.push_back(tx);
+    }
+
+    /// Live entry by id (`None` for pruned, aborted, or unknown ids).
+    fn get(&self, id: u64) -> Option<&ActiveTx> {
+        let i = id.checked_sub(self.base)?;
+        self.slots.get(i as usize).filter(|tx| !tx.aborted)
+    }
+
+    /// Iterate live entries with id ≥ `floor`, ascending by id.
+    fn iter_from(&self, floor: u64) -> impl Iterator<Item = (u64, &ActiveTx)> + '_ {
+        let start = (floor.saturating_sub(self.base) as usize).min(self.slots.len());
+        let first_id = self.base + start as u64;
+        self.slots
+            .range(start..)
+            .enumerate()
+            .filter_map(move |(i, tx)| (!tx.aborted).then_some((first_id + i as u64, tx)))
+    }
+
+    /// Like [`TxTable::iter_from`], but over the compact scan rows —
+    /// the hot-path variant used by the busy / interference / CCA
+    /// passes. Identical ids, identical order, identical filtering.
+    fn rows_from(&self, floor: u64) -> impl Iterator<Item = (u64, ScanRow)> + '_ {
+        let start = (floor.saturating_sub(self.base) as usize).min(self.rows.len());
+        let first_id = self.base + start as u64;
+        self.rows
+            .range(start..)
+            .enumerate()
+            .filter_map(move |(i, row)| (!row.aborted).then_some((first_id + i as u64, *row)))
+    }
+
+    /// First id that could still overlap an interval beginning at
+    /// `from`, given no frame lasts longer than `max_airtime`. Starts
+    /// are monotone in id (assigned at strictly non-decreasing virtual
+    /// times), so this binary search returns exactly what the seed's
+    /// reverse linear scan did: every entry below the returned id ended
+    /// at or before `from`.
+    fn scan_floor(&self, from: SimTime, max_airtime: SimDuration) -> u64 {
+        let i = self
+            .rows
+            .partition_point(|row| row.start + max_airtime <= from);
+        self.base + i as u64
+    }
+
+    /// Tombstone every entry from `sender`.
+    fn abort_sender(&mut self, sender: u16) {
+        for (tx, row) in self.slots.iter_mut().zip(self.rows.iter_mut()) {
+            if tx.sender == sender {
+                tx.aborted = true;
+                row.aborted = true;
+            }
+        }
+    }
+
+    /// Prefix prune: drop leading entries that ended before `horizon`
+    /// or were aborted.
+    fn prune(&mut self, horizon: SimTime) {
+        while let Some(front) = self.slots.front() {
+            if front.aborted || front.end < horizon {
+                self.slots.pop_front();
+                self.rows.pop_front();
+                self.base += 1;
+            } else {
+                break;
+            }
+        }
+    }
 }
 
 /// Never prune the active-transmission table below this size; pruning a
@@ -228,9 +489,20 @@ pub struct Network {
     pub medium: Medium,
     nodes: Vec<Node>,
     names: NameRegistry,
-    queue: EventQueue<Event>,
+    queue: EventQueue<QEvent>,
+    /// Payload storage for queued events (see [`EventArena`]).
+    arena: EventArena,
     now: SimTime,
-    active: std::collections::BTreeMap<u64, ActiveTx>,
+    active: TxTable,
+    /// Struct-of-arrays mirrors of the per-node radio state the hot
+    /// scans touch (fan-out liveness, channel filters, power lookups).
+    /// `Node` remains the source of truth; every mutation goes through
+    /// a setter (or dynamics/effect handler) that keeps these in sync,
+    /// so the scans read a few contiguous bytes instead of striding
+    /// across kilobyte-scale `Node` structs.
+    node_alive: Vec<bool>,
+    node_channel: Vec<Channel>,
+    node_power: Vec<lv_radio::PowerLevel>,
     /// Per-node time until which the radio is occupied transmitting —
     /// a node is half-duplex and strictly serial on its own TX path.
     tx_busy_until: Vec<SimTime>,
@@ -283,13 +555,20 @@ impl Network {
         let nodes: Vec<Node> = (0..n)
             .map(|i| Node::new(i as u16, default_name(i as u16), seed))
             .collect();
+        let node_alive = nodes.iter().map(|nd| nd.alive).collect();
+        let node_channel = nodes.iter().map(|nd| nd.channel).collect();
+        let node_power = nodes.iter().map(|nd| nd.power).collect();
         let mut net = Network {
             medium,
             nodes,
             names,
             queue: EventQueue::new(),
+            arena: EventArena::new(),
             now: SimTime::ZERO,
-            active: std::collections::BTreeMap::new(),
+            active: TxTable::new(),
+            node_alive,
+            node_channel,
+            node_power,
             tx_busy_until: vec![SimTime::ZERO; n],
             ack_reserved_until: vec![SimTime::ZERO; n],
             next_tx: 0,
@@ -310,13 +589,169 @@ impl Network {
                 let period = net.nodes[i as usize].stack.config().beacon_period;
                 let offset =
                     SimDuration::from_nanos(net.nodes[i as usize].rng.below(period.as_nanos()));
-                net.queue.push(net.now + offset, Event::Beacon { node: i });
+                net.enqueue(net.now + offset, Event::Beacon { node: i });
             }
             let hk = net.config.housekeeping_period;
-            net.queue
-                .push(net.now + hk, Event::Housekeeping { node: i });
+            net.enqueue(net.now + hk, Event::Housekeeping { node: i });
         }
         net
+    }
+
+    /// Encode an event into its queued form (parking any large payload
+    /// in the arena) and push it on the future-event queue.
+    fn enqueue(&mut self, at: SimTime, ev: Event) {
+        let q = match ev {
+            Event::ProcessStart { node, pid } => QEvent {
+                kind: QKind::ProcessStart,
+                node,
+                b: pid,
+                c: 0,
+            },
+            Event::Timer { node, pid, token } => QEvent {
+                kind: QKind::Timer,
+                node,
+                b: pid,
+                c: token as u64,
+            },
+            Event::LocalDeliver { node, pid, packet } => QEvent {
+                kind: QKind::LocalDeliver,
+                node,
+                b: pid,
+                c: self.arena.packets.insert(packet) as u64,
+            },
+            Event::MacCca { node, token } => QEvent {
+                kind: QKind::MacCca,
+                node,
+                b: 0,
+                c: token,
+            },
+            Event::MacAckTimeout { node, token } => QEvent {
+                kind: QKind::MacAckTimeout,
+                node,
+                b: 0,
+                c: token,
+            },
+            Event::TxEnd { node, tx_id } => QEvent {
+                kind: QKind::TxEnd,
+                node,
+                b: 0,
+                c: tx_id,
+            },
+            Event::RxEnd { node, tx_id } => QEvent {
+                kind: QKind::RxEnd,
+                node,
+                b: 0,
+                c: tx_id,
+            },
+            Event::SendAck { node, dst, seq } => QEvent {
+                kind: QKind::SendAck,
+                node,
+                b: dst as u32 | ((seq as u32) << 16),
+                c: 0,
+            },
+            Event::TxStart { node, frame } => QEvent {
+                kind: QKind::TxStart,
+                node,
+                b: self.arena.frames.insert(frame),
+                c: 0,
+            },
+            Event::Beacon { node } => QEvent {
+                kind: QKind::Beacon,
+                node,
+                b: 0,
+                c: 0,
+            },
+            Event::Housekeeping { node } => QEvent {
+                kind: QKind::Housekeeping,
+                node,
+                b: 0,
+                c: 0,
+            },
+            Event::Dynamics { action } => QEvent {
+                kind: QKind::Dynamics,
+                node: 0,
+                b: self.arena.dynamics.insert(action),
+                c: 0,
+            },
+        };
+        self.queue.push(at, q);
+    }
+
+    /// Decode a popped queue entry back into the dispatch-facing event,
+    /// reclaiming its arena slot (if any) in the process. `None` means
+    /// the entry referenced an empty arena slot (a double-take that
+    /// should be impossible); the anomaly is counted and the event
+    /// dropped rather than panicking mid-simulation.
+    fn decode(&mut self, q: QEvent) -> Option<Event> {
+        Some(match q.kind {
+            QKind::ProcessStart => Event::ProcessStart {
+                node: q.node,
+                pid: q.b,
+            },
+            QKind::Timer => Event::Timer {
+                node: q.node,
+                pid: q.b,
+                token: q.c as u32,
+            },
+            QKind::LocalDeliver => {
+                let Some(packet) = self.arena.packets.take(q.c as u32) else {
+                    self.counters.incr("kernel.arena_miss");
+                    return None;
+                };
+                Event::LocalDeliver {
+                    node: q.node,
+                    pid: q.b,
+                    packet,
+                }
+            }
+            QKind::MacCca => Event::MacCca {
+                node: q.node,
+                token: q.c,
+            },
+            QKind::MacAckTimeout => Event::MacAckTimeout {
+                node: q.node,
+                token: q.c,
+            },
+            QKind::TxEnd => Event::TxEnd {
+                node: q.node,
+                tx_id: q.c,
+            },
+            QKind::RxEnd => Event::RxEnd {
+                node: q.node,
+                tx_id: q.c,
+            },
+            QKind::SendAck => Event::SendAck {
+                node: q.node,
+                dst: (q.b & 0xFFFF) as u16,
+                seq: (q.b >> 16) as u8,
+            },
+            QKind::TxStart => {
+                let Some(frame) = self.arena.frames.take(q.b) else {
+                    self.counters.incr("kernel.arena_miss");
+                    return None;
+                };
+                Event::TxStart {
+                    node: q.node,
+                    frame,
+                }
+            }
+            QKind::Beacon => Event::Beacon { node: q.node },
+            QKind::Housekeeping => Event::Housekeeping { node: q.node },
+            QKind::Dynamics => {
+                let Some(action) = self.arena.dynamics.take(q.b) else {
+                    self.counters.incr("kernel.arena_miss");
+                    return None;
+                };
+                Event::Dynamics { action }
+            }
+        })
+    }
+
+    /// Live payload slots in the event arena — always equal to the
+    /// number of payload-carrying events currently queued. Exposed for
+    /// the recycling property tests.
+    pub fn arena_live(&self) -> usize {
+        self.arena.live()
     }
 
     /// Current virtual time.
@@ -371,9 +806,33 @@ impl Network {
         &self.nodes[id as usize]
     }
 
-    /// Mutable node access (experiment setup: power, channel, log, …).
+    /// Mutable node access (experiment setup: log, rng, stack, …).
+    ///
+    /// The alive / channel / power fields are mirrored into
+    /// struct-of-arrays columns the hot dispatch paths scan; writing
+    /// them through this handle would desynchronize the mirror. Use
+    /// [`Network::set_node_alive`], [`Network::set_node_channel`] and
+    /// [`Network::set_node_power`] for those three.
     pub fn node_mut(&mut self, id: u16) -> &mut Node {
         &mut self.nodes[id as usize]
+    }
+
+    /// Set a node's alive flag, keeping the SoA mirror in sync.
+    pub fn set_node_alive(&mut self, id: u16, alive: bool) {
+        self.nodes[id as usize].alive = alive;
+        self.node_alive[id as usize] = alive;
+    }
+
+    /// Set a node's radio channel, keeping the SoA mirror in sync.
+    pub fn set_node_channel(&mut self, id: u16, channel: Channel) {
+        self.nodes[id as usize].channel = channel;
+        self.node_channel[id as usize] = channel;
+    }
+
+    /// Set a node's transmit power, keeping the SoA mirror in sync.
+    pub fn set_node_power(&mut self, id: u16, power: lv_radio::PowerLevel) {
+        self.nodes[id as usize].power = power;
+        self.node_power[id as usize] = power;
     }
 
     /// The deployment's name registry.
@@ -408,7 +867,7 @@ impl Network {
         params: Vec<u8>,
     ) -> Result<ProcessId, ResourceError> {
         let pid = self.nodes[node as usize].register_process(process, params)?;
-        self.queue.push(
+        self.enqueue(
             self.now + self.config.cpu_cost,
             Event::ProcessStart { node, pid },
         );
@@ -418,7 +877,7 @@ impl Network {
     /// Deliver a synthetic timer to a process right away — the hook the
     /// workstation driver uses to kick the command interpreter.
     pub fn poke(&mut self, node: u16, pid: ProcessId, token: u32) {
-        self.queue.push(self.now, Event::Timer { node, pid, token });
+        self.enqueue(self.now, Event::Timer { node, pid, token });
     }
 
     /// Run the loop until virtual time `t` (inclusive).
@@ -427,7 +886,7 @@ impl Network {
             if et > t {
                 break;
             }
-            let Some((at, ev)) = self.queue.pop() else {
+            let Some((at, q)) = self.queue.pop() else {
                 break;
             };
             if let Some(log) = self.audit.as_mut() {
@@ -440,7 +899,9 @@ impl Network {
             }
             self.now = at;
             self.events_dispatched += 1;
-            self.dispatch(ev);
+            if let Some(ev) = self.decode(q) {
+                self.dispatch(ev);
+            }
         }
         if t > self.now {
             self.now = t;
@@ -481,7 +942,7 @@ impl Network {
     /// enabled).
     pub fn check_invariants(&mut self) -> Result<(), AuditViolation> {
         let mut found: Vec<AuditViolation> = Vec::new();
-        for (&tx_id, tx) in &self.active {
+        for (tx_id, tx) in self.active.iter_from(0) {
             // Only transmissions still on the air matter; ended entries
             // legitimately linger until the amortized prune.
             if tx.end > self.now
@@ -577,7 +1038,7 @@ impl Network {
                 // would be mistaken for the data frame's TxEnd.
                 let mac_owned = self
                     .active
-                    .get(&tx_id)
+                    .get(tx_id)
                     .is_some_and(|tx| tx.frame.kind != FrameKind::Ack);
                 if !mac_owned {
                     return;
@@ -606,7 +1067,7 @@ impl Network {
                 let now = self.now;
                 self.nodes[idx].stack.housekeeping(now);
                 let hk = self.config.housekeeping_period;
-                self.queue.push(self.now + hk, Event::Housekeeping { node });
+                self.enqueue(self.now + hk, Event::Housekeeping { node });
             }
             Event::Dynamics { action } => {
                 self.apply_dynamics(action);
@@ -630,7 +1091,7 @@ impl Network {
     /// nothing leaves the run bit-identical to a static scenario.
     pub fn schedule_dynamics(&mut self, at: SimTime, action: DynamicsAction) {
         let at = at.max(self.now);
-        self.queue.push(at, Event::Dynamics { action });
+        self.enqueue(at, Event::Dynamics { action });
     }
 
     fn apply_dynamics(&mut self, action: DynamicsAction) {
@@ -701,6 +1162,7 @@ impl Network {
             }
             DynamicsAction::NodeDown { id } => {
                 self.nodes[id as usize].alive = false;
+                self.node_alive[id as usize] = false;
                 self.medium.set_dead(id, true);
                 self.abort_transmissions_of(id);
                 self.counters.incr_id(CounterId::DynNodeDown);
@@ -712,6 +1174,7 @@ impl Network {
             DynamicsAction::NodeUp { id } => {
                 self.medium.set_dead(id, false);
                 self.nodes[id as usize].reboot();
+                self.node_alive[id as usize] = true;
                 self.counters.incr_id(CounterId::DynNodeUp);
                 if self.trace.accepts(TraceLevel::Info) {
                     self.trace
@@ -720,6 +1183,7 @@ impl Network {
             }
             DynamicsAction::SetNodeChannel { id, channel } => {
                 self.nodes[id as usize].channel = channel;
+                self.node_channel[id as usize] = channel;
                 self.counters.incr_id(CounterId::DynReconfig);
                 if self.trace.accepts(TraceLevel::Info) {
                     self.trace.emit(
@@ -732,6 +1196,7 @@ impl Network {
             }
             DynamicsAction::SetNodePower { id, power } => {
                 self.nodes[id as usize].power = power;
+                self.node_power[id as usize] = power;
                 self.counters.incr_id(CounterId::DynReconfig);
                 if self.trace.accepts(TraceLevel::Info) {
                     self.trace.emit(
@@ -764,7 +1229,7 @@ impl Network {
     /// This is the churn-path guarantee that `set_dead` mid-frame leaves
     /// no stale active-transmission state behind.
     fn abort_transmissions_of(&mut self, node: u16) {
-        self.active.retain(|_, tx| tx.sender != node);
+        self.active.abort_sender(node);
         let idx = node as usize;
         self.tx_busy_until[idx] = self.now;
         self.ack_reserved_until[idx] = self.now;
@@ -793,44 +1258,31 @@ impl Network {
         } else {
             SimDuration::from_nanos(self.nodes[idx].rng.below(jitter.as_nanos()))
         };
-        self.queue
-            .push(self.now + period + j, Event::Beacon { node });
+        let at = self.now + period + j;
+        self.enqueue(at, Event::Beacon { node });
     }
 
-    /// First transmission id that could still overlap an interval
-    /// beginning at `from`. Ids are assigned in start order and no
-    /// frame lasts longer than `max_airtime`, so every entry below the
-    /// returned id ended at or before `from` — skipping them changes
-    /// neither outcomes nor RNG draw counts (such entries fail every
-    /// overlap filter before reaching an RNG-consuming check).
-    fn scan_floor(&self, from: SimTime) -> u64 {
-        for (&id, other) in self.active.iter().rev() {
-            if other.start + self.max_airtime <= from {
-                return id + 1;
-            }
-        }
-        0
-    }
-
+    // lv-lint: hot
     fn on_cca(&mut self, node: u16, token: u64) {
         let idx = node as usize;
-        if !self.nodes[idx].alive {
+        if !self.node_alive[idx] {
             return;
         }
-        let floor = self.scan_floor(self.now);
+        let floor = self.active.scan_floor(self.now, self.max_airtime);
+        let channel = self.node_channel[idx];
         let clear = {
             let medium = &self.medium;
             let n = &mut self.nodes[idx];
             let mut busy = false;
-            for tx in self.active.range(floor..).map(|(_, tx)| tx) {
-                if tx.end <= self.now || tx.start > self.now || tx.channel != n.channel {
+            for (_, tx) in self.active.rows_from(floor) {
+                if tx.end <= self.now || tx.start > self.now || tx.channel != channel {
                     continue;
                 }
                 if tx.sender == node {
                     busy = true; // own radio mid-transmission (e.g. an ack)
                     break;
                 }
-                if medium.cca_senses(tx.sender, node, tx.power, &mut n.rng) {
+                if medium.cca_senses_fast(tx.sender, node, tx.power, &mut n.rng) {
                     busy = true;
                     break;
                 }
@@ -845,40 +1297,42 @@ impl Network {
         self.exec_mac_actions(node, actions);
     }
 
+    // lv-lint: hot
     fn on_rx_end(&mut self, node: u16, tx_id: u64) {
         let idx = node as usize;
-        let Some(tx) = self.active.get(&tx_id) else {
+        let Some(tx) = self.active.get(tx_id) else {
             return;
         };
-        let n = &self.nodes[idx];
-        if !n.alive || n.channel != tx.channel {
+        if !self.node_alive[idx] || self.node_channel[idx] != tx.channel {
             return;
         }
         // One pass over the active table does double duty: detect the
         // half-duplex conflict (a node radiating during any part of the
         // frame cannot receive it) and aggregate co-channel
         // interference. The busy case discards the partial sum, and
-        // `BTreeMap` iteration keeps the float accumulation order of
-        // the original two-pass code, so outcomes are identical.
+        // ascending-id iteration over the slab keeps the float
+        // accumulation order of the original two-pass code, so outcomes
+        // are identical.
         let mut busy_transmitting = false;
         let mut interference_mw = 0.0;
-        let floor = self.scan_floor(tx.start);
-        for other in self.active.range(floor..).map(|(_, other)| other) {
+        let floor = self.active.scan_floor(tx.start, self.max_airtime);
+        let (tx_start, tx_end, tx_sender, tx_channel) = (tx.start, tx.end, tx.sender, tx.channel);
+        for (_, other) in self.active.rows_from(floor) {
             if other.sender == node {
-                if other.start < tx.end && other.end > tx.start {
+                if other.start < tx_end && other.end > tx_start {
                     busy_transmitting = true;
                     break;
                 }
                 continue; // own radio, but not overlapping this frame
             }
-            if other.sender == tx.sender {
+            if other.sender == tx_sender {
                 continue;
             }
-            if other.channel != tx.channel || other.start >= tx.end || other.end <= tx.start {
+            if other.channel != tx_channel || other.start >= tx_end || other.end <= tx_start {
                 continue;
             }
-            if let Some(p) = self.medium.mean_rx_power(other.sender, node, other.power) {
-                interference_mw += p.to_mw();
+            if let Some(mw) = self.medium.mean_rx_mw(other.sender, node, other.power) {
+                interference_mw += mw;
             }
         }
         if busy_transmitting {
@@ -1095,15 +1549,15 @@ impl Network {
         for action in actions {
             match action {
                 MacAction::ScheduleCca { after, token } => {
-                    self.queue
-                        .push(self.now + after, Event::MacCca { node, token });
+                    let at = self.now + after;
+                    self.enqueue(at, Event::MacCca { node, token });
                 }
                 MacAction::StartTx { frame } => {
                     self.begin_transmission(node, frame);
                 }
                 MacAction::ScheduleAckWait { after, token } => {
-                    self.queue
-                        .push(self.now + after, Event::MacAckTimeout { node, token });
+                    let at = self.now + after;
+                    self.enqueue(at, Event::MacAckTimeout { node, token });
                 }
                 MacAction::SendAck { dst, seq } => {
                     // Immediate ack after the RX→TX turnaround. Reserve
@@ -1115,7 +1569,7 @@ impl Network {
                     if reserved > self.ack_reserved_until[idx] {
                         self.ack_reserved_until[idx] = reserved;
                     }
-                    self.queue.push(at, Event::SendAck { node, dst, seq });
+                    self.enqueue(at, Event::SendAck { node, dst, seq });
                 }
                 MacAction::Delivered { frame, .. } => {
                     self.counters.incr_id(CounterId::MacDelivered);
@@ -1166,10 +1620,10 @@ impl Network {
         }
     }
 
+    // lv-lint: hot
     fn begin_transmission(&mut self, node: u16, frame: Frame) {
         let idx = node as usize;
-        let n = &self.nodes[idx];
-        if !n.alive || self.medium.is_dead(node) {
+        if !self.node_alive[idx] || self.medium.is_dead(node) {
             return;
         }
         // Half duplex, one frame at a time: if the radio is mid-frame,
@@ -1181,7 +1635,7 @@ impl Network {
         }
         if busy > self.now {
             let at = busy + self.timing.turnaround;
-            self.queue.push(at, Event::TxStart { node, frame });
+            self.enqueue(at, Event::TxStart { node, frame });
             return;
         }
         let wire_len = frame.wire_len();
@@ -1191,7 +1645,7 @@ impl Network {
         }
         let start = self.now;
         let end = start + airtime;
-        let (tx_power, tx_channel) = (n.power, n.channel);
+        let (tx_power, tx_channel) = (self.node_power[idx], self.node_channel[idx]);
         self.tx_busy_until[idx] = end;
         self.nodes[idx].energy.charge_tx(airtime, tx_power);
         let (kind_id, kind) = match frame.kind {
@@ -1216,13 +1670,29 @@ impl Network {
         // exactly the nodes `hears` accepts, ascending by id — O(degree)
         // through the medium's candidate cache instead of O(N).
         for j in self.medium.reachable(node, tx_power) {
-            if j == node || !self.nodes[j as usize].alive {
+            if j == node || !self.node_alive[j as usize] {
                 continue;
             }
-            self.queue.push(end, Event::RxEnd { node: j, tx_id });
+            self.queue.push(
+                end,
+                QEvent {
+                    kind: QKind::RxEnd,
+                    node: j,
+                    b: 0,
+                    c: tx_id,
+                },
+            );
         }
-        self.queue.push(end, Event::TxEnd { node, tx_id });
-        self.active.insert(
+        self.queue.push(
+            end,
+            QEvent {
+                kind: QKind::TxEnd,
+                node,
+                b: 0,
+                c: tx_id,
+            },
+        );
+        self.active.push(
             tx_id,
             ActiveTx {
                 sender: node,
@@ -1232,6 +1702,7 @@ impl Network {
                 end,
                 frame: Arc::new(frame),
                 wire_len,
+                aborted: false,
             },
         );
         // Lazy prune, amortized: only sweep once the table doubles past
@@ -1240,7 +1711,7 @@ impl Network {
         // lookback, so deferring their removal is observationally inert.
         if self.active.len() >= self.prune_at {
             let horizon = self.now - SimDuration::from_millis(50);
-            self.active.retain(|_, tx| tx.end >= horizon);
+            self.active.prune(horizon);
             // Re-arm a fixed step above the live set: the table never
             // carries more than ~ACTIVE_PRUNE_MIN stale entries, which
             // keeps the per-reception scans short while still amortizing
@@ -1367,17 +1838,15 @@ impl Network {
                     match out {
                         Out::Actions(actions) => self.exec_mac_actions(node, actions),
                         Out::Local(pid, packet) => {
-                            self.queue.push(
-                                self.now + self.config.cpu_cost,
-                                Event::LocalDeliver { node, pid, packet },
-                            );
+                            let at = self.now + self.config.cpu_cost;
+                            self.enqueue(at, Event::LocalDeliver { node, pid, packet });
                         }
                         Out::None => {}
                     }
                 }
                 Effect::Timer { token, after } => {
-                    self.queue
-                        .push(self.now + after, Event::Timer { node, pid, token });
+                    let at = self.now + after;
+                    self.enqueue(at, Event::Timer { node, pid, token });
                 }
                 Effect::Subscribe(port) => {
                     if self.nodes[idx].stack.subscribe(port, pid).is_err() {
@@ -1390,10 +1859,8 @@ impl Network {
                 Effect::Spawn { process, params } => {
                     match self.nodes[idx].register_process(process, params) {
                         Ok(child) => {
-                            self.queue.push(
-                                self.now + self.config.cpu_cost,
-                                Event::ProcessStart { node, pid: child },
-                            );
+                            let at = self.now + self.config.cpu_cost;
+                            self.enqueue(at, Event::ProcessStart { node, pid: child });
                         }
                         Err(e) => {
                             let now = self.now;
@@ -1412,9 +1879,11 @@ impl Network {
                 }
                 Effect::SetPower(level) => {
                     self.nodes[idx].power = level;
+                    self.node_power[idx] = level;
                 }
                 Effect::SetChannel(channel) => {
                     self.nodes[idx].channel = channel;
+                    self.node_channel[idx] = channel;
                 }
                 Effect::SetBeaconPeriod(period) => {
                     self.nodes[idx].stack.config_mut().beacon_period = period;
@@ -1464,12 +1933,12 @@ mod tests {
             ctx.subscribe(self.port);
         }
         fn on_packet(&mut self, ctx: &mut SysCtx<'_>, packet: &NetPacket, _meta: RxMeta) {
-            self.received.borrow_mut().push(packet.payload.clone());
+            self.received.borrow_mut().push(packet.payload.to_vec());
             ctx.send(
                 packet.header.origin,
                 self.carry,
                 self.port,
-                packet.payload.clone(),
+                packet.payload.to_vec(),
                 true,
             );
         }
@@ -1557,7 +2026,7 @@ mod tests {
         net.run_for(SimDuration::from_secs(5));
         assert!(net.node(1).stack.neighbors.get(0).is_some());
         // Kill node 0 and let the neighbor table expire it.
-        net.node_mut(0).alive = false;
+        net.set_node_alive(0, false);
         net.run_for(SimDuration::from_secs(30));
         assert!(net.node(1).stack.neighbors.get(0).is_none());
     }
@@ -1691,7 +2160,7 @@ mod tests {
         // Node 1 moves to another channel; node 0's beacons no longer
         // reach it.
         let mut net = Network::new(line_medium(2, 5.0, 3), 3);
-        net.node_mut(1).channel = Channel::new(20).unwrap();
+        net.set_node_channel(1, Channel::new(20).unwrap());
         net.run_for(SimDuration::from_secs(10));
         assert!(net.node(1).stack.neighbors.get(0).is_none());
         assert!(net.node(0).stack.neighbors.get(1).is_none());
@@ -1737,8 +2206,8 @@ mod tests {
             let now = net.now;
             if net
                 .active
-                .values()
-                .any(|tx| tx.sender == sender && tx.end > now)
+                .iter_from(0)
+                .any(|(_, tx)| tx.sender == sender && tx.end > now)
             {
                 return;
             }
@@ -1789,7 +2258,7 @@ mod tests {
         net.run_for(SimDuration::from_micros(1));
         assert_eq!(net.counters.get("dyn.node_down"), 1);
         assert!(
-            net.active.values().all(|tx| tx.sender != 0),
+            net.active.iter_from(0).all(|(_, tx)| tx.sender != 0),
             "dead sender must not keep active-transmission entries"
         );
         assert!(net.tx_busy_until[0] <= net.now());
@@ -1855,7 +2324,7 @@ mod tests {
             assert_eq!(*replies.borrow(), 0);
             // Nothing is left pinned mid-flight.
             let now = net.now;
-            assert!(net.active.values().all(|tx| tx.end <= now));
+            assert!(net.active.iter_from(0).all(|(_, tx)| tx.end <= now));
             format!(
                 "{:?} {:?} {}",
                 net.counters,
@@ -1987,7 +2456,7 @@ mod tests {
             .unwrap();
             run_until_airborne(&mut net, 0);
             if raw_kill {
-                net.node_mut(0).alive = false;
+                net.set_node_alive(0, false);
             } else {
                 net.schedule_dynamics(net.now(), DynamicsAction::NodeDown { id: 0 });
                 net.run_for(SimDuration::from_micros(1));
@@ -2022,13 +2491,17 @@ mod tests {
         // `schedule_dynamics` clamps past timestamps to now, so reach
         // under it: push an event dated t=0 straight onto the queue,
         // the way a buggy scheduler would.
+        let slot = net.arena.dynamics.insert(DynamicsAction::SetChannelNoise {
+            channel: Channel::default(),
+            delta_db: 1.0,
+        });
         net.queue.push(
             SimTime::ZERO,
-            Event::Dynamics {
-                action: DynamicsAction::SetChannelNoise {
-                    channel: Channel::default(),
-                    delta_db: 1.0,
-                },
+            QEvent {
+                kind: QKind::Dynamics,
+                node: 0,
+                b: slot,
+                c: 0,
             },
         );
         net.run_for(SimDuration::from_millis(1));
@@ -2266,6 +2739,124 @@ mod collision_tests {
                 })
                 .collect();
             assert_eq!(digests[0], digests[1], "seed {seed}");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arena recycling properties (PR 9): interleaved alloc/free of event
+    // payloads and in-flight transmissions never aliases a live slot,
+    // and reclamation always drains back to empty.
+    // ------------------------------------------------------------------
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+
+        /// Interleaved insert/take on the event slab against a shadow
+        /// model: an insert never lands on a slot the model still holds
+        /// (no aliasing), a take returns exactly the value the model
+        /// recorded for that slot, and freeing everything drains the
+        /// slab to zero live entries.
+        #[test]
+        fn slab_recycling_never_aliases_live_slots(
+            ops in proptest::collection::vec((proptest::arbitrary::any::<bool>(), 0u64..1_000_000), 1..200),
+        ) {
+            let mut slab: Slab<u64> = Slab::new();
+            let mut model: Vec<Option<u64>> = Vec::new();
+            let mut live: Vec<u32> = Vec::new();
+            for (do_free, value) in ops {
+                if do_free && !live.is_empty() {
+                    // Deterministically pick a live slot to free.
+                    let pick = (value as usize) % live.len();
+                    let slot = live.swap_remove(pick);
+                    let expected = model[slot as usize].take();
+                    proptest::prop_assert_eq!(slab.take(slot), expected, "take must return the inserted value");
+                    // A second take of the same slot must miss, not alias.
+                    proptest::prop_assert_eq!(slab.take(slot), None, "double take must miss");
+                } else {
+                    let slot = slab.insert(value);
+                    if (slot as usize) >= model.len() {
+                        model.resize(slot as usize + 1, None);
+                    }
+                    proptest::prop_assert_eq!(
+                        model[slot as usize], None,
+                        "insert handed out a slot the model still holds"
+                    );
+                    model[slot as usize] = Some(value);
+                    live.push(slot);
+                }
+                proptest::prop_assert_eq!(slab.live(), live.len(), "live count tracks the model");
+            }
+            // Drain: taking every live slot empties the slab.
+            for slot in live.drain(..) {
+                let expected = model[slot as usize].take();
+                proptest::prop_assert_eq!(slab.take(slot), expected);
+            }
+            proptest::prop_assert_eq!(slab.live(), 0, "fully freed slab must be empty");
+        }
+
+        /// Interleaved push/abort/prune on the in-flight transmission
+        /// table: ids never collide while live, the SoA scan rows stay
+        /// in lockstep with the slots, and a prune past every end time
+        /// drains the table to empty.
+        #[test]
+        fn tx_table_ids_never_alias(
+            ops in proptest::collection::vec((0u8..8, 0u64..50), 1..150),
+        ) {
+            let mut table = TxTable::new();
+            let mut next_id = 0u64;
+            let mut clock = 0u64; // millis; starts are monotone like the kernel's
+            let mut live_ids: Vec<u64> = Vec::new();
+            for (op, arg) in ops {
+                match op {
+                    // Push: ids are handed out in order, never reused.
+                    0..=4 => {
+                        let start = SimTime::from_millis(clock);
+                        let end = SimTime::from_millis(clock + 1 + arg % 5);
+                        clock += arg % 3;
+                        let sender = (arg % 6) as u16;
+                        table.push(next_id, ActiveTx {
+                            sender,
+                            channel: Channel::DEFAULT,
+                            power: lv_radio::PowerLevel::MAX,
+                            start,
+                            end,
+                            frame: Arc::new(Frame::beacon(sender, 0, [0u8; 0])),
+                            wire_len: 16,
+                            aborted: false,
+                        });
+                        proptest::prop_assert!(
+                            table.get(next_id).is_some(),
+                            "freshly pushed id must be live"
+                        );
+                        live_ids.push(next_id);
+                        next_id += 1;
+                    }
+                    // Abort one sender's entries (tombstones, not holes).
+                    5..=6 => {
+                        let sender = (arg % 6) as u16;
+                        table.abort_sender(sender);
+                        live_ids.retain(|&id| table.get(id).is_some());
+                    }
+                    // Prefix prune up to a moving horizon.
+                    _ => {
+                        let horizon = SimTime::from_millis(clock.saturating_sub(2));
+                        table.prune(horizon);
+                        live_ids.retain(|&id| table.get(id).is_some());
+                    }
+                }
+                // Rows and slots stay in index lockstep, and the live
+                // iterators agree id-for-id (no aliasing between the
+                // AoS table and its SoA scan mirror).
+                proptest::prop_assert_eq!(table.slots.len(), table.rows.len());
+                let slot_ids: Vec<u64> = table.iter_from(0).map(|(id, _)| id).collect();
+                let row_ids: Vec<u64> = table.rows_from(0).map(|(id, _)| id).collect();
+                proptest::prop_assert_eq!(&slot_ids, &row_ids, "SoA mirror out of lockstep");
+                proptest::prop_assert_eq!(&slot_ids, &live_ids, "live id set drifted");
+            }
+            // Prune past every end: the table must drain completely.
+            table.prune(SimTime::from_millis(clock + 60));
+            proptest::prop_assert_eq!(table.len(), 0, "prune past all ends must drain");
+            proptest::prop_assert!(table.iter_from(0).next().is_none());
         }
     }
 }

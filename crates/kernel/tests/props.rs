@@ -2,7 +2,7 @@
 //! and seeds, the event loop neither panics nor diverges, stays
 //! deterministic, and keeps its counters self-consistent.
 
-use lv_kernel::{Network, NetworkConfig};
+use lv_kernel::{DynamicsAction, Network, NetworkConfig};
 use lv_radio::propagation::PropagationConfig;
 use lv_radio::units::Position;
 use lv_radio::Medium;
@@ -87,6 +87,32 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The event arena drains back to empty: payload slots (packets,
+    /// frames, dynamics actions) are allocated when an event is queued
+    /// and reclaimed exactly once when it pops, so once a network goes
+    /// quiet every slot has been recycled. Random topologies, random
+    /// churn points, beacon traffic throughout — after the last queued
+    /// payload event has popped, `arena_live()` must be zero.
+    #[test]
+    fn full_sim_drains_arena_to_empty(
+        positions in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..10),
+        seed in 0u64..500,
+    ) {
+        let mut net = build(positions, seed);
+        net.run_for(SimDuration::from_secs(15));
+        // Mid-run the arena tracks exactly the queued payload events;
+        // stop the traffic sources and let everything in flight pop.
+        for i in 0..net.node_count() {
+            net.schedule_dynamics(net.now(), DynamicsAction::NodeDown { id: i as u16 });
+        }
+        net.run_for(SimDuration::from_secs(30));
+        prop_assert_eq!(
+            net.arena_live(),
+            0,
+            "arena must drain once every queued payload event has popped"
+        );
     }
 
     /// Disabling beacons really silences the network (no spontaneous

@@ -78,6 +78,10 @@ impl LintConfig {
     ///   (sort first or use `BTreeMap`).
     /// * `no-panic` — kernel and radio: `unwrap`/`expect`/`panic!` are
     ///   forbidden in non-test code; use typed errors or anomaly paths.
+    /// * `hot-path-alloc` — everywhere (tag-driven): a function marked
+    ///   `// lv-lint: hot` must not call `Box::new`/`Vec::new`/
+    ///   `.to_string()`; hot paths allocate from arenas and inline
+    ///   buffers only.
     /// * `counter-name` — everywhere: counter ids must be namespaced
     ///   (`dyn.node_down`, `padding.capped`).
     /// * `trace-coverage` — kernel: a function counting a `dyn.*`
@@ -97,6 +101,7 @@ impl LintConfig {
                 rule("hash-type", CrateSet::only(SIM_PATH_CRATES)),
                 rule("hash-iter", CrateSet::only(&hash_iter_crates)),
                 rule("no-panic", CrateSet::only(&["kernel", "radio"])),
+                rule("hot-path-alloc", CrateSet::All),
                 rule("counter-name", CrateSet::All),
                 rule("trace-coverage", CrateSet::only(&["kernel"])),
                 rule("pub-doc", CrateSet::All),

@@ -267,6 +267,11 @@ pub const RULES: &[Rule] = &[
         check: check_no_panic,
     },
     Rule {
+        name: "hot-path-alloc",
+        summary: "no Box::new/Vec::new/to_string in functions tagged `// lv-lint: hot`",
+        check: check_hot_path_alloc,
+    },
+    Rule {
         name: "counter-name",
         summary: "counter ids must be namespaced: `ns.name` (e.g. dyn.node_down)",
         check: check_counter_name,
@@ -505,6 +510,105 @@ fn check_no_panic(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
                 ),
             );
         }
+    }
+}
+
+/// Heap allocation in declared hot paths. A `// lv-lint: hot` comment
+/// on the line of (or directly above) a `fn` declares the function a
+/// per-event hot path; inside its body, `Box::new`, `Vec::new` and
+/// `.to_string()` are flagged — the raw-speed kernel pass moved those
+/// onto arenas, inline buffers and interned `CounterId`s, and this rule
+/// keeps per-event heap traffic from creeping back in.
+fn check_hot_path_alloc(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    // Lines carrying a `lv-lint: hot` tag (the directive, not
+    // `allow(hot-path-alloc)` — that starts with `allow(`).
+    let hot_lines: Vec<u32> = ctx
+        .tokens
+        .iter()
+        .filter(|t| t.is_comment())
+        .filter_map(|t| {
+            let at = t.text.find("lv-lint:")?;
+            let rest = t.text[at + "lv-lint:".len()..].trim_start();
+            rest.starts_with("hot").then_some(t.line)
+        })
+        .collect();
+    if hot_lines.is_empty() {
+        return;
+    }
+    let mut i = 0usize;
+    while i < ctx.sig.len() {
+        if ctx.sig_text_pub(i) != "fn" {
+            i += 1;
+            continue;
+        }
+        let fn_line = ctx.sig_tok(i).map(|t| t.line).unwrap_or(0);
+        let is_hot = hot_lines.iter().any(|&l| l == fn_line || l + 1 == fn_line);
+        // Body = first `{` at paren depth 0 after the signature.
+        let mut j = i + 1;
+        let mut paren = 0i32;
+        let body_open = loop {
+            if j >= ctx.sig.len() {
+                break None;
+            }
+            match ctx.sig_text_pub(j) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "{" if paren == 0 => break Some(j),
+                ";" if paren == 0 => break None, // trait method decl
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else {
+            i = j + 1;
+            continue;
+        };
+        if !is_hot {
+            // Step inside: a nested tagged fn must still be scanned.
+            i = open + 1;
+            continue;
+        }
+        let close = ctx.matching_pub(open, "{", "}");
+        for k in open..=close {
+            let Some(t) = ctx.sig_tok(k) else { break };
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            // `Box::new` / `Vec::new` (colons lex as single chars).
+            if (t.text == "Box" || t.text == "Vec")
+                && ctx.sig_text_pub(k + 1) == ":"
+                && ctx.sig_text_pub(k + 2) == ":"
+                && ctx.sig_text_pub(k + 3) == "new"
+            {
+                ctx.push(
+                    out,
+                    "hot-path-alloc",
+                    t,
+                    format!(
+                        "`{}::new` allocates inside a `// lv-lint: hot` function; use the \
+                         event arena / an inline buffer, or hoist the allocation out of \
+                         the per-event path",
+                        t.text
+                    ),
+                );
+            }
+            // `.to_string()`
+            if t.text == "to_string"
+                && k >= 1
+                && ctx.sig_text_pub(k - 1) == "."
+                && ctx.sig_text_pub(k + 1) == "("
+            {
+                ctx.push(
+                    out,
+                    "hot-path-alloc",
+                    t,
+                    "`.to_string()` allocates inside a `// lv-lint: hot` function; use an \
+                     interned CounterId or a static str"
+                        .to_owned(),
+                );
+            }
+        }
+        i = close + 1;
     }
 }
 
@@ -862,6 +966,34 @@ mod tests {
         let good = "fn f(&mut self) { self.counters.incr_id(CounterId::DynNodeDown); \
                     self.trace.emit(now, id, lvl, msg); }\n";
         assert!(findings("trace-coverage", "crates/kernel/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_only_fires_in_tagged_fns() {
+        let cold = "fn f() { let v = Vec::new(); let b = Box::new(1); }\n";
+        assert!(findings("hot-path-alloc", "crates/kernel/src/x.rs", cold).is_empty());
+        let hot = "// lv-lint: hot\nfn f() { let v = Vec::new(); let b = Box::new(1); }\n";
+        let f = findings("hot-path-alloc", "crates/kernel/src/x.rs", hot);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].line, 2);
+        let trailing = "fn f(x: u32) -> String { x.to_string() } // lv-lint: hot\n";
+        assert_eq!(
+            findings("hot-path-alloc", "crates/kernel/src/x.rs", trailing).len(),
+            1
+        );
+        // to_string_lossy and a field named to_string are not `.to_string()`.
+        let near = "// lv-lint: hot\nfn f(p: &Path) -> Cow<str> { p.to_string_lossy() }\n";
+        assert!(findings("hot-path-alloc", "crates/kernel/src/x.rs", near).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_allow_and_tests_exempt() {
+        let allowed =
+            "// lv-lint: hot\nfn f() { let v = Vec::new(); // lv-lint: allow(hot-path-alloc)\n}\n";
+        assert!(findings("hot-path-alloc", "crates/kernel/src/x.rs", allowed).is_empty());
+        let test_region =
+            "#[cfg(test)]\nmod tests {\n    // lv-lint: hot\n    fn f() { let v = Vec::new(); }\n}\n";
+        assert!(findings("hot-path-alloc", "crates/kernel/src/x.rs", test_region).is_empty());
     }
 
     #[test]

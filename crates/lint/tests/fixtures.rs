@@ -75,6 +75,20 @@ fn no_panic_fixture() {
 }
 
 #[test]
+fn hot_path_alloc_fixture() {
+    let lines = finding_lines(
+        "hot_path_alloc.rs",
+        "hot-path-alloc",
+        "crates/kernel/src/fixture.rs",
+    );
+    assert_eq!(
+        lines,
+        vec![6, 7, 8],
+        "Box::new, Vec::new, to_string in the tagged fn; allow + untagged + tests exempt"
+    );
+}
+
+#[test]
 fn counter_name_fixture() {
     let lines = finding_lines(
         "counter_name.rs",
@@ -246,6 +260,7 @@ fn fixtures_are_single_rule_specimens() {
         ("hash_type.rs", "hash-type"),
         ("hash_iter.rs", "hash-iter"),
         ("no_panic.rs", "no-panic"),
+        ("hot_path_alloc.rs", "hot-path-alloc"),
         ("counter_name.rs", "counter-name"),
         ("trace_coverage.rs", "trace-coverage"),
         ("pub_doc.rs", "pub-doc"),

@@ -19,6 +19,7 @@
 //! about real payload space.
 
 use crate::crc::{append_crc, verify_crc};
+use lv_sim::InlineBytes;
 
 /// The broadcast address.
 pub const BROADCAST: u16 = 0xFFFF;
@@ -30,6 +31,10 @@ pub const MAC_OVERHEAD: usize = 9;
 /// bytes; 127 − 9 framing bytes leaves 118, comfortably above the
 /// network layer's 64-byte padded payload plus its own header.
 pub const MAX_PAYLOAD: usize = 118;
+
+/// A frame's payload bytes, stored inline — constructing, cloning, and
+/// dropping a frame on the hot transmit/receive path never allocates.
+pub type FramePayload = InlineBytes<MAX_PAYLOAD>;
 
 /// Frame kinds on the air.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,19 +78,18 @@ pub struct Frame {
     /// Link-layer sequence number (per-sender, wrapping).
     pub seq: u8,
     /// Network-layer payload bytes.
-    pub payload: Vec<u8>,
+    pub payload: FramePayload,
 }
 
 impl Frame {
     /// Build a data frame.
-    pub fn data(src: u16, dst: u16, seq: u8, payload: Vec<u8>) -> Self {
-        debug_assert!(payload.len() <= MAX_PAYLOAD);
+    pub fn data(src: u16, dst: u16, seq: u8, payload: impl Into<FramePayload>) -> Self {
         Frame {
             kind: FrameKind::Data,
             src,
             dst,
             seq,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -96,18 +100,18 @@ impl Frame {
             src,
             dst,
             seq,
-            payload: Vec::new(),
+            payload: FramePayload::new(),
         }
     }
 
     /// Build a broadcast beacon frame.
-    pub fn beacon(src: u16, seq: u8, payload: Vec<u8>) -> Self {
+    pub fn beacon(src: u16, seq: u8, payload: impl Into<FramePayload>) -> Self {
         Frame {
             kind: FrameKind::Beacon,
             src,
             dst: BROADCAST,
             seq,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -148,7 +152,7 @@ impl Frame {
         if buf.len() != MAC_OVERHEAD + len {
             return None;
         }
-        let payload = buf[7..7 + len].to_vec();
+        let payload = FramePayload::from_slice(&buf[7..7 + len]);
         Some(Frame {
             kind,
             src,

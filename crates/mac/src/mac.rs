@@ -109,7 +109,7 @@ impl Mac {
         &mut self,
         kind: FrameKind,
         dst: u16,
-        payload: Vec<u8>,
+        payload: impl Into<crate::frame::FramePayload>,
         rng: &mut SimRng,
     ) -> (bool, Vec<MacAction>) {
         let seq = self.next_seq;
@@ -119,7 +119,7 @@ impl Mac {
             src: self.id,
             dst,
             seq,
-            payload,
+            payload: payload.into(),
         };
         if !self.queue.push(frame) {
             self.counters.incr_id(CounterId::MacQueueDrop);

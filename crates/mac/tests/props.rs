@@ -42,7 +42,7 @@ proptest! {
         seq in any::<u8>(),
         payload in proptest::collection::vec(any::<u8>(), 0..=118),
     ) {
-        let f = Frame { kind, src, dst, seq, payload };
+        let f = Frame { kind, src, dst, seq, payload: payload.into() };
         let bytes = f.encode();
         prop_assert_eq!(bytes.len(), f.wire_len());
         let decoded = Frame::decode(&bytes).expect("round trip");

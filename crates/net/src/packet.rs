@@ -25,10 +25,15 @@
 //! and only the occupied bytes travel on the air.
 
 use crate::padding::HopQuality;
+use lv_sim::InlineBytes;
 use serde::{Deserialize, Serialize};
 
 /// The reserved payload area per packet — payload plus padding must fit.
 pub const PAYLOAD_AREA: usize = 64;
+
+/// Application payload or padding bytes, stored inline ([`PAYLOAD_AREA`]
+/// caps both) — packets move through the stack without heap traffic.
+pub type PacketBytes = InlineBytes<PAYLOAD_AREA>;
 
 /// Bytes of network header on the wire.
 pub const NET_HEADER_LEN: usize = 11;
@@ -102,20 +107,19 @@ pub struct NetPacket {
     /// The application payload (never mutated in flight — the paper's
     /// "we should not directly store link quality information into the
     /// original payload of packets").
-    pub payload: Vec<u8>,
+    pub payload: PacketBytes,
     /// The appended hop-quality bytes.
-    pub padding: Vec<u8>,
+    pub padding: PacketBytes,
 }
 
 impl NetPacket {
-    /// Build a fresh packet at the origin. Panics (debug) if the payload
+    /// Build a fresh packet at the origin. Panics if the payload
     /// exceeds the 64-byte area.
-    pub fn new(header: NetHeader, payload: Vec<u8>) -> Self {
-        debug_assert!(payload.len() <= PAYLOAD_AREA);
+    pub fn new(header: NetHeader, payload: impl Into<PacketBytes>) -> Self {
         NetPacket {
             header,
-            payload,
-            padding: Vec::new(),
+            payload: payload.into(),
+            padding: PacketBytes::new(),
         }
     }
 
@@ -183,8 +187,8 @@ impl NetPacket {
         if buf.len() != NET_HEADER_LEN + payload_len + pad_len {
             return None;
         }
-        let payload = buf[NET_HEADER_LEN..NET_HEADER_LEN + payload_len].to_vec();
-        let padding = buf[NET_HEADER_LEN + payload_len..].to_vec();
+        let payload = PacketBytes::from_slice(&buf[NET_HEADER_LEN..NET_HEADER_LEN + payload_len]);
+        let padding = PacketBytes::from_slice(&buf[NET_HEADER_LEN + payload_len..]);
         Some(NetPacket {
             header: NetHeader {
                 flags,

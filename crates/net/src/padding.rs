@@ -36,11 +36,17 @@ impl HopQuality {
     /// keeps `payload_len + padding` within `cap` bytes (Section
     /// IV.C.3's 64-byte payload area). Returns whether the hop was
     /// recorded; at the cap the buffer gains no bytes at all.
-    pub fn append_capped(self, padding: &mut Vec<u8>, payload_len: usize, cap: usize) -> bool {
+    pub fn append_capped(
+        self,
+        padding: &mut crate::packet::PacketBytes,
+        payload_len: usize,
+        cap: usize,
+    ) -> bool {
         if payload_len + padding.len() + Self::WIRE_BYTES > cap {
             return false;
         }
-        self.append_to(padding);
+        padding.push(self.lqi);
+        padding.push(self.rssi as u8);
         true
     }
 
@@ -97,7 +103,7 @@ mod tests {
     #[test]
     fn capped_append_stops_at_the_area_boundary() {
         let hop = HopQuality { lqi: 100, rssi: 0 };
-        let mut buf = Vec::new();
+        let mut buf = crate::packet::PacketBytes::new();
         // 16-byte payload in a 64-byte area: exactly 24 hops fit.
         let mut appended = 0;
         while hop.append_capped(&mut buf, 16, 64) {
@@ -109,7 +115,7 @@ mod tests {
         assert!(!hop.append_capped(&mut buf, 16, 64));
         assert_eq!(buf.len(), 48);
         // An odd single free byte is not enough for a 2-byte entry.
-        let mut odd = Vec::new();
+        let mut odd = crate::packet::PacketBytes::new();
         assert!(!hop.append_capped(&mut odd, 63, 64));
         assert!(odd.is_empty());
     }

@@ -59,6 +59,137 @@ struct LinkCache {
     /// loop's RxEnd schedule order). Dead state is *not* baked in — it
     /// is checked per query, so `set_dead` needs no invalidation.
     candidates: Vec<Vec<CandidateLink>>,
+    /// Memo of `mean_rx_power(·).to_mw()` values keyed by
+    /// `(from, to, power)` — the interference aggregation's inner-loop
+    /// lookup. Values are installed on first computation, so a hit
+    /// returns the exact bits the unmemoized expression produced.
+    memo: MeanMwMemo,
+    /// Distance-bucketed fast-rejection bounds used when (re)building
+    /// candidate lists; see [`RejectTable`].
+    reject: RejectTable,
+}
+
+/// Number of equal-area distance buckets in the build-time rejection
+/// table. Uniform in d² matches the expected pair density, so far
+/// buckets (where nearly everything rejects) get most of the
+/// resolution.
+const REJECT_BUCKETS: usize = 1024;
+
+/// Build-time fast rejection for bulk link qualification.
+///
+/// Bucket `i` covers squared link distances `[i·w, (i+1)·w)` with
+/// `w = r²/N` and stores a conservative threshold on the shadowing
+/// draw's first Box–Muller uniform: the radius is `√(−2·ln u1)`, so
+/// `u1 > exp(−t²/2)` implies `radius < t`. Taking `t` from the bucket's
+/// *left* edge (where the distance term is weakest) with 1e-6 dB of
+/// slack guarantees that whenever a link's `u1` exceeds the bound, the
+/// radius early-out inside `mean_path_loss_db_if_at_most` would fire —
+/// so the build can skip the link without evaluating any logarithm,
+/// square root, or cosine. Survivors always re-run the exact original
+/// qualifier, keeping candidacy bit-for-bit faithful.
+#[derive(Debug, Clone)]
+struct RejectTable {
+    /// Squared conservative qualification range (the same bound the
+    /// grid prefilter uses, so a circle test may only ever err toward
+    /// keeping a pair).
+    r2: f64,
+    /// `N / r²`, or 0.0 when the table is disabled (non-finite range or
+    /// non-increasing path loss).
+    inv_width: f64,
+    /// Per-bucket `u1` thresholds; `2.0` disables the fast reject for a
+    /// bucket (every admissible `u1` is ≤ 1).
+    bound: Vec<f64>,
+}
+
+impl RejectTable {
+    fn build(propagation: &LogDistance, sensitivity: Dbm, r: f64) -> Self {
+        let cfg = propagation.config();
+        // The left-edge argument needs the distance term to be
+        // non-decreasing in distance; otherwise run everything through
+        // the exact qualifier.
+        let usable = cfg.exponent > 0.0 && r.is_finite() && r > 0.0;
+        if !usable {
+            return RejectTable {
+                r2: f64::INFINITY,
+                inv_width: 0.0,
+                bound: vec![2.0; REJECT_BUCKETS],
+            };
+        }
+        // Ceiling for links without an override, as `qualify` computes it.
+        let ceiling = PowerLevel::MAX.dbm().0 - (sensitivity.0 - 6.0) + 1e-9;
+        let sigma = cfg.shadow_sigma_db.abs();
+        let width = r * r / REJECT_BUCKETS as f64;
+        let bound = (0..REJECT_BUCKETS)
+            .map(|i| {
+                let d_left = (i as f64 * width).sqrt();
+                let dist = d_left.max(cfg.d0.0 * 0.1);
+                let distance_term = cfg.pl_d0_db + 10.0 * cfg.exponent * (dist / cfg.d0.0).log10();
+                // 1e-6 dB of slack dwarfs every rounding error in the
+                // chain (bucket indexing, this arithmetic, the exp), so
+                // the reject stays strictly conservative; borderline
+                // links fall through to the exact qualifier.
+                let t = (distance_term - ceiling - 1e-6) / sigma;
+                if t > 0.0 {
+                    (-0.5 * t * t).exp()
+                } else {
+                    2.0 // near links: never fast-reject
+                }
+            })
+            .collect();
+        RejectTable {
+            r2: r * r,
+            inv_width: 1.0 / width,
+            bound,
+        }
+    }
+
+    /// The `u1` threshold for a squared link distance.
+    #[inline]
+    fn bound_for(&self, d2: f64) -> f64 {
+        let i = ((d2 * self.inv_width) as usize).min(REJECT_BUCKETS - 1);
+        self.bound[i]
+    }
+}
+
+/// log2 of the mean-mW memo's slot count.
+const MEMO_BITS: u32 = 14;
+
+/// A direct-mapped memo of `(from, to, power) → mean received mW`.
+///
+/// Collisions simply overwrite (it is a cache of a pure function, so
+/// recomputation is always safe); key 0 marks an empty slot. The memo
+/// is flushed whenever link physics change (overrides, moves) and is
+/// dropped with the cache itself.
+#[derive(Debug, Clone)]
+struct MeanMwMemo {
+    /// Interleaved `(key, value)` pairs: one probe touches one cache
+    /// line instead of one line in a key array plus one in a value
+    /// array.
+    slots: Vec<(u64, f64)>,
+}
+
+impl MeanMwMemo {
+    fn new() -> Self {
+        MeanMwMemo {
+            slots: vec![(0, 0.0); 1 << MEMO_BITS],
+        }
+    }
+
+    /// Pack a directed link + power level into a nonzero key.
+    #[inline]
+    fn key(from: u16, to: u16, power: PowerLevel) -> u64 {
+        (((from as u64) << 24) | ((to as u64) << 8) | power.level() as u64) + 1
+    }
+
+    /// Fibonacci-hash a key to its slot.
+    #[inline]
+    fn slot(key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - MEMO_BITS)) as usize
+    }
+
+    fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| s.0 = 0);
+    }
 }
 
 /// Per-directed-link modifier used for failure and asymmetry injection.
@@ -194,20 +325,29 @@ impl Medium {
     fn rebuild_cache(&mut self) {
         let r = self.max_qualify_range();
         let grid = SpatialGrid::new(&self.positions, r);
+        let reject = RejectTable::build(&self.propagation, self.sensitivity, r);
         let candidates = (0..self.positions.len() as u16)
-            .map(|from| self.build_sender_list(from, &grid, r))
+            .map(|from| self.build_sender_list(from, &grid, r, &reject))
             .collect();
         self.cache = Some(LinkCache {
             grid,
             max_range: r,
             candidates,
+            memo: MeanMwMemo::new(),
+            reject,
         });
     }
 
     /// Candidate list for one sender: grid-bounded scan plus every
     /// overridden link (an override can extend range, so those bypass
     /// the distance prefilter entirely).
-    fn build_sender_list(&self, from: u16, grid: &SpatialGrid, r: f64) -> Vec<CandidateLink> {
+    fn build_sender_list(
+        &self,
+        from: u16,
+        grid: &SpatialGrid,
+        r: f64,
+        reject: &RejectTable,
+    ) -> Vec<CandidateLink> {
         let mut ids: Vec<u16> = Vec::new();
         grid.for_each_in_square(self.positions[from as usize], r, |id| ids.push(id));
         for &(a, b) in self.overrides.keys() {
@@ -218,8 +358,33 @@ impl Medium {
         ids.sort_unstable();
         ids.dedup();
         ids.into_iter()
-            .filter_map(|to| self.qualify(from, to))
+            .filter_map(|to| self.qualify_fast(from, to, reject))
             .collect()
+    }
+
+    /// [`Medium::qualify`] behind the build-time fast rejects: the
+    /// conservative circle bound (the grid square's corners poke past
+    /// the range bound) and the bucketed `u1` threshold. Both may only
+    /// drop links the exact qualifier would drop anyway; everything
+    /// that survives runs through `qualify` unchanged. Overridden links
+    /// (different ceiling, possibly range-extending) skip the rejects
+    /// entirely.
+    fn qualify_fast(&self, from: u16, to: u16, reject: &RejectTable) -> Option<CandidateLink> {
+        if !self.overrides.is_empty() && self.overrides.contains_key(&(from, to)) {
+            return self.qualify(from, to);
+        }
+        let a = self.positions[from as usize];
+        let b = self.positions[to as usize];
+        let (dx, dy) = (a.x - b.x, a.y - b.y);
+        let d2 = dx * dx + dy * dy;
+        if d2 > reject.r2 {
+            return None;
+        }
+        let bound = reject.bound_for(d2);
+        if bound < 2.0 && self.propagation.shadowing_u1(from, to) > bound {
+            return None; // the radius early-out inside `qualify` would fire
+        }
+        self.qualify(from, to)
     }
 
     /// Evaluate one directed link for candidacy at `PowerLevel::MAX`,
@@ -264,6 +429,8 @@ impl Medium {
         let Some(cache) = self.cache.as_mut() else {
             return;
         };
+        // Link physics changed: every memoized mean is suspect.
+        cache.memo.clear();
         let list = &mut cache.candidates[from as usize];
         let idx = list.partition_point(|c| c.to < to);
         let present = list.get(idx).is_some_and(|c| c.to == to);
@@ -319,10 +486,11 @@ impl Medium {
         affected.dedup();
         let list = match self.cache.as_ref() {
             None => return,
-            Some(cache) => self.build_sender_list(id, &cache.grid, r),
+            Some(cache) => self.build_sender_list(id, &cache.grid, r, &cache.reject),
         };
         if let Some(cache) = self.cache.as_mut() {
             cache.candidates[id as usize] = list;
+            cache.memo.clear();
         }
         for s in affected {
             if s != id {
@@ -561,6 +729,88 @@ impl Medium {
         };
         let jitter = rng.normal(0.0, 1.0);
         mean.0 + jitter >= self.cca_threshold.0
+    }
+
+    /// [`Medium::cca_senses`] with the candidate-list fast path: result
+    /// and RNG stream position are bit-identical, but a listener that is
+    /// not in the sender's candidate list skips all float work.
+    ///
+    /// Why that is sound: non-candidates have mean rx power below
+    /// `sensitivity − 6 dB` even at `PowerLevel::MAX`, the unit-σ CCA
+    /// jitter is hard-bounded by [`GAUSSIAN_HARD_BOUND`], and
+    /// `−101 dBm + 8.572 dB` is still far below the `−77 dBm` CCA
+    /// threshold — the comparison can never pass, so only the draw's
+    /// *stream position* matters, which [`SimRng::skip_gaussian`]
+    /// advances exactly. Overridden links (blocked links return without
+    /// drawing; extra loss shifts candidacy) fall back to the exact
+    /// path, as does a cache-disabled medium.
+    pub fn cca_senses_fast(
+        &self,
+        from: u16,
+        listener: u16,
+        power: PowerLevel,
+        rng: &mut SimRng,
+    ) -> bool {
+        let Some(cache) = &self.cache else {
+            return self.cca_senses(from, listener, power, rng);
+        };
+        if !self.overrides.is_empty() {
+            return self.cca_senses(from, listener, power, rng);
+        }
+        if from == listener {
+            return false;
+        }
+        if self.dead[from as usize] || self.dead[listener as usize] {
+            return false; // mean_rx_power is None: no draw either way
+        }
+        let list = &cache.candidates[from as usize];
+        let idx = list.partition_point(|c| c.to < listener);
+        match list.get(idx) {
+            Some(c) if c.to == listener => {
+                // Same float ops as cca_senses via mean_rx_power's
+                // cache hit: (dBm − pl) − extra, then the jitter test.
+                let mean = (power.dbm() - c.pl_db) - c.extra_loss_db;
+                let jitter = rng.normal(0.0, 1.0);
+                mean.0 + jitter >= self.cca_threshold.0
+            }
+            _ => {
+                debug_assert!(
+                    self.sensitivity.0 - 6.0 + GAUSSIAN_HARD_BOUND < self.cca_threshold.0
+                );
+                rng.skip_gaussian();
+                false
+            }
+        }
+    }
+
+    /// Memoized `mean_rx_power(from, to, power)` converted to mW — the
+    /// lookup the interference aggregation performs per overlapping
+    /// transmission. The memo stores the value the unmemoized
+    /// expression produced on first computation, so hits are
+    /// bit-identical; dead radios and blocked links are answered before
+    /// the memo and never cached. Falls back to the plain computation
+    /// when the cache is disabled.
+    // lv-lint: hot
+    pub fn mean_rx_mw(&mut self, from: u16, to: u16, power: PowerLevel) -> Option<f64> {
+        if self.cache.is_none() {
+            return self.mean_rx_power(from, to, power).map(|p| p.to_mw());
+        }
+        if self.dead[from as usize] || self.dead[to as usize] {
+            return None;
+        }
+        let key = MeanMwMemo::key(from, to, power);
+        let slot = MeanMwMemo::slot(key);
+        if let Some(cache) = &self.cache {
+            let (k, v) = cache.memo.slots[slot];
+            if k == key {
+                return Some(v);
+            }
+        }
+        let mw = self.mean_rx_power(from, to, power)?.to_mw();
+        if let Some(cache) = self.cache.as_mut() {
+            cache.memo.slots[slot] = (key, mw);
+        }
+        Some(mw)
     }
 }
 
@@ -844,6 +1094,76 @@ mod tests {
             m.set_dead(3, false);
         }
         assert_media_agree(&cached, &brute, 23);
+    }
+
+    /// Exhaustive fast-path equivalence: identical results AND identical
+    /// RNG stream positions afterwards (the digest-neutrality contract).
+    fn assert_fast_paths_agree(m: &mut Medium, seed: u64) {
+        let n = m.node_count() as u16;
+        for power in [PowerLevel::MIN, PowerLevel::MAX] {
+            for from in 0..n {
+                for to in 0..n {
+                    let mut r1 = SimRng::stream(seed, 0xCCA ^ ((from as u64) << 20) ^ to as u64);
+                    let mut r2 = r1.clone();
+                    let slow = m.cca_senses(from, to, power, &mut r1);
+                    let fast = m.cca_senses_fast(from, to, power, &mut r2);
+                    assert_eq!(slow, fast, "cca({from},{to}) at {power:?}");
+                    assert_eq!(
+                        r1.next_u64(),
+                        r2.next_u64(),
+                        "rng desync after cca({from},{to})"
+                    );
+                    let expect = m.mean_rx_power(from, to, power).map(|p| p.to_mw());
+                    // Twice: the miss that installs and the hit that reads.
+                    assert_eq!(m.mean_rx_mw(from, to, power), expect, "mw({from},{to})");
+                    let hit = m.mean_rx_mw(from, to, power);
+                    assert_eq!(
+                        hit.map(f64::to_bits),
+                        expect.map(f64::to_bits),
+                        "memo hit({from},{to})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_paths_match_reference_on_static_topology() {
+        let mut m = scatter_medium(13);
+        assert_fast_paths_agree(&mut m, 13);
+        let mut brute = scatter_medium(13);
+        brute.set_cache_enabled(false);
+        assert_fast_paths_agree(&mut brute, 13);
+    }
+
+    #[test]
+    fn fast_paths_match_reference_after_mutations() {
+        let mut m = scatter_medium(29);
+        // Warm the memo, then mutate: stale hits would be caught below.
+        assert_fast_paths_agree(&mut m, 29);
+        m.set_override(
+            1,
+            2,
+            LinkOverride {
+                blocked: true,
+                extra_loss_db: 0.0,
+            },
+        );
+        m.set_override(
+            8,
+            9,
+            LinkOverride {
+                blocked: false,
+                extra_loss_db: -40.0,
+            },
+        );
+        m.set_dead(3, true);
+        m.set_position(5, Position::new(300.0, 300.0));
+        assert_fast_paths_agree(&mut m, 29);
+        m.clear_override(1, 2);
+        m.clear_override(8, 9);
+        m.set_dead(3, false);
+        assert_fast_paths_agree(&mut m, 29);
     }
 
     #[test]

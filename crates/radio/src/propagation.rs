@@ -90,6 +90,21 @@ impl LogDistance {
         rng.normal(0.0, self.config.shadow_sigma_db)
     }
 
+    /// The first Box–Muller uniform of this link's shadowing draw — the
+    /// exact `u1` that [`SimRng::gaussian_radius`] turns into the radius
+    /// inside [`Self::mean_path_loss_db_if_at_most`].
+    ///
+    /// The radius is monotone decreasing in `u1`, so bulk qualifiers can
+    /// compare `u1` against a precomputed per-distance threshold and
+    /// reject far links without evaluating any logarithm, square root,
+    /// or cosine. The stream is throwaway (freshly derived per link), so
+    /// peeking here never perturbs draw counts anywhere else.
+    pub fn shadowing_u1(&self, a: u16, b: u16) -> f64 {
+        let label = 0x5348_4144_0000_0000 | ((a as u64) << 16) | b as u64;
+        let mut rng = SimRng::from_seed_u64(derive_seed(self.seed, label));
+        (1.0 - rng.unit()).max(f64::MIN_POSITIVE)
+    }
+
     /// [`Self::mean_path_loss_db`] with an early-out for bulk
     /// qualification: returns the exact path loss when it is at most
     /// `ceiling_db`, `None` otherwise.
@@ -274,6 +289,20 @@ mod tests {
             }
         }
         assert!(accepted > 0 && accepted < pairs, "both outcomes exercised");
+    }
+
+    #[test]
+    fn shadowing_u1_matches_radius() {
+        // The peeked uniform must reproduce the qualifier's radius
+        // exactly: radius = sqrt(−2·ln u1).
+        let m = model(77);
+        for a in 0..50u16 {
+            let u1 = m.shadowing_u1(a, a + 1);
+            let label = 0x5348_4144_0000_0000 | ((a as u64) << 16) | (a + 1) as u64;
+            let mut rng = SimRng::from_seed_u64(derive_seed(77, label));
+            let radius = rng.gaussian_radius();
+            assert_eq!(radius.to_bits(), (-2.0 * u1.ln()).sqrt().to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Fixed-capacity inline byte buffers.
+//!
+//! The simulator moves tens of thousands of small byte strings per
+//! simulated second — MAC payloads (≤ 118 bytes), network payloads and
+//! link-quality padding (≤ 64 bytes together). Heap-backed `Vec<u8>`
+//! puts an allocation, a pointer chase, and a drop on every frame on
+//! the hot dispatch path. [`InlineBytes`] stores the bytes inline
+//! (`[u8; N]` + length), so cloning a frame is a flat `memcpy`, and
+//! constructing or dropping one touches no allocator at all.
+//!
+//! The type dereferences to `[u8]`, so slice-consuming code
+//! (`decode(&frame.payload)`, `.first()`, iteration) works unchanged.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A byte string of at most `N` bytes, stored inline.
+///
+/// `N` must be ≤ 255 (the length is a `u8`); all in-tree users are
+/// wire formats with single-byte length fields, so this never binds.
+#[derive(Clone, Copy)]
+pub struct InlineBytes<const N: usize> {
+    len: u8,
+    buf: [u8; N],
+}
+
+impl<const N: usize> InlineBytes<N> {
+    /// The empty buffer.
+    pub const fn new() -> Self {
+        InlineBytes {
+            len: 0,
+            buf: [0; N],
+        }
+    }
+
+    /// Copy `bytes` in. Panics if `bytes.len() > N` — every in-tree
+    /// producer validates length against the wire format first, so an
+    /// oversized slice here is a logic error, not input data.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        assert!(
+            bytes.len() <= N,
+            "InlineBytes<{N}> cannot hold {} bytes",
+            bytes.len()
+        );
+        let mut b = Self::new();
+        b.buf[..bytes.len()].copy_from_slice(bytes);
+        b.len = bytes.len() as u8;
+        b
+    }
+
+    /// Occupied length.
+    #[allow(clippy::len_without_is_empty)] // is_empty comes via Deref
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// The occupied bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Mutable view of the occupied bytes.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf[..self.len as usize]
+    }
+
+    /// Append one byte. Panics when full (see [`InlineBytes::from_slice`]).
+    pub fn push(&mut self, byte: u8) {
+        assert!((self.len as usize) < N, "InlineBytes<{N}> full");
+        self.buf[self.len as usize] = byte;
+        self.len += 1;
+    }
+
+    /// Append a slice. Panics if it does not fit.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        let end = self.len as usize + bytes.len();
+        assert!(end <= N, "InlineBytes<{N}> cannot grow to {end} bytes");
+        self.buf[self.len as usize..end].copy_from_slice(bytes);
+        self.len = end as u8;
+    }
+
+    /// Drop all content.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Copy out into an owned `Vec` (cold paths: reports, serde).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl<const N: usize> Default for InlineBytes<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> Deref for InlineBytes<N> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl<const N: usize> DerefMut for InlineBytes<N> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+impl<const N: usize> fmt::Debug for InlineBytes<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<const N: usize> PartialEq for InlineBytes<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> Eq for InlineBytes<N> {}
+
+impl<const N: usize> std::hash::Hash for InlineBytes<N> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<const N: usize> PartialEq<Vec<u8>> for InlineBytes<N> {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<InlineBytes<N>> for Vec<u8> {
+    fn eq(&self, other: &InlineBytes<N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8]> for InlineBytes<N> {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> From<&[u8]> for InlineBytes<N> {
+    fn from(bytes: &[u8]) -> Self {
+        Self::from_slice(bytes)
+    }
+}
+
+impl<const N: usize> From<Vec<u8>> for InlineBytes<N> {
+    fn from(bytes: Vec<u8>) -> Self {
+        Self::from_slice(&bytes)
+    }
+}
+
+impl<const N: usize, const M: usize> From<[u8; M]> for InlineBytes<N> {
+    fn from(bytes: [u8; M]) -> Self {
+        Self::from_slice(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_deref() {
+        let b = InlineBytes::<16>::from_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.first(), Some(&1));
+        assert!(!b.is_empty());
+        assert!(InlineBytes::<16>::new().is_empty());
+    }
+
+    #[test]
+    fn push_extend_clear() {
+        let mut b = InlineBytes::<8>::new();
+        b.push(9);
+        b.extend_from_slice(&[8, 7]);
+        assert_eq!(b, vec![9, 8, 7]);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_spare_capacity() {
+        let mut a = InlineBytes::<8>::from_slice(&[1, 2, 3, 4]);
+        a.clear();
+        a.extend_from_slice(&[1, 2]);
+        let b = InlineBytes::<8>::from_slice(&[1, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn oversized_slice_panics() {
+        let _ = InlineBytes::<4>::from_slice(&[0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn push_past_capacity_panics() {
+        let mut b = InlineBytes::<2>::from_slice(&[1, 2]);
+        b.push(3);
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Vec<u8> = vec![5, 6];
+        let b: InlineBytes<64> = v.clone().into();
+        assert_eq!(b, v);
+        assert_eq!(b.to_vec(), v);
+        let c: InlineBytes<64> = [9u8, 9].into();
+        assert_eq!(c, &[9u8, 9][..]);
+    }
+}

@@ -20,12 +20,14 @@
 //!   streams derived with SplitMix64, so independent subsystems do not
 //!   perturb each other's random sequences.
 
+pub mod bytes;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use bytes::InlineBytes;
 pub use metrics::{CounterId, Counters, Histogram, Summary, TimeSeries};
 pub use queue::EventQueue;
 pub use rng::SimRng;

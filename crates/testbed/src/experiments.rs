@@ -23,7 +23,7 @@ fn corridor_traceroute(seed: u64, power_level: Option<u8>) -> (Scenario, TraceOu
     if let Some(level) = power_level {
         let p = lv_radio::PowerLevel::new(level).expect("valid level");
         for i in 0..s.net.node_count() as u16 {
-            s.net.node_mut(i).power = p;
+            s.net.set_node_power(i, p);
         }
         // Let estimators re-settle at the new power.
         s.net.run_for(SimDuration::from_secs(10));

@@ -12,13 +12,13 @@ use lv_radio::units::Position;
 
 /// Power a node off (it stops transmitting, receiving, and beaconing).
 pub fn kill_node(net: &mut Network, id: u16) {
-    net.node_mut(id).alive = false;
+    net.set_node_alive(id, false);
     net.medium.set_dead(id, true);
 }
 
 /// Power a node back on.
 pub fn revive_node(net: &mut Network, id: u16) {
-    net.node_mut(id).alive = true;
+    net.set_node_alive(id, true);
     net.medium.set_dead(id, false);
 }
 

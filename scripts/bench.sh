@@ -1,13 +1,33 @@
 #!/usr/bin/env bash
+# Benchmark artifacts, one JSON file per committed trajectory point.
+#
+#   scripts/bench.sh          full nightly run: every artifact below
+#   scripts/bench.sh --quick  PR-time run: BENCH_PR9.json only
+#
+# PR-9 raw-speed trajectory: single-threaded event throughput at 200
+# and 1000 nodes, cached and brute arms (the sweep hard-asserts both
+# arms produce identical counter digests). This is the per-PR
+# machine-readable perf point; the nightly events-rate gate
+# (`figures --check-events-rate`) reads the *committed* BENCH_PR3.json
+# baseline before this script regenerates anything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p lv-bench
+
+cargo run --release -q -p lv-bench --bin figures -- --scale --sizes 200,1000 --json > BENCH_PR9.json
+cat BENCH_PR9.json
+echo "bench: wrote BENCH_PR9.json"
+
+if [[ "${1:-}" == "--quick" ]]; then
+    exit 0
+fi
+
 # PR-3 scaling benchmark: runs the beacon + traceroute workload at
 # 100→1000 nodes with the medium's reachability cache on and off, and
 # checks the JSON rows into BENCH_PR3.json at the repo root. The sweep
 # asserts that both arms produce identical counter digests — the cache
 # must change wall time, never physics.
-set -euo pipefail
-cd "$(dirname "$0")/.."
-
-cargo build --release -q -p lv-bench
 cargo run --release -q -p lv-bench --bin figures -- --scale --json > BENCH_PR3.json
 cargo run --release -q -p lv-bench --bin figures -- --scale
 
