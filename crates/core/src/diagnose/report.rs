@@ -96,7 +96,9 @@ pub struct DiagnosisLog {
 impl DiagnosisLog {
     /// Serialize to pretty-printed JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("diagnosis log serializes")
+        // Serialization of plain data types cannot fail; degrade to an
+        // empty object rather than aborting a live deployment.
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| String::from("{}"))
     }
 
     /// Parse a log back from JSON (`None` on malformed input).

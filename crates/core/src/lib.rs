@@ -94,7 +94,14 @@ use lv_kernel::Network;
 /// interactively, independent of whatever application it runs.
 pub fn install_suite(net: &mut Network) {
     for id in 0..net.node_count() as u16 {
-        net.spawn_process(id, Box::new(RuntimeController::new()), vec![])
-            .expect("controller fits on a MicaZ");
+        // A freshly provisioned node always has room for the
+        // controller; if its process table is somehow full, that node
+        // stays unmanaged rather than aborting the whole install.
+        if net
+            .spawn_process(id, Box::new(RuntimeController::new()), vec![])
+            .is_err()
+        {
+            debug_assert!(false, "controller install failed on node {id}");
+        }
     }
 }

@@ -110,7 +110,9 @@ impl ObservabilityReport {
 
     /// Serialize to pretty-printed JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        // Serialization of plain data types cannot fail; degrade to an
+        // empty object rather than aborting a live deployment.
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| String::from("{}"))
     }
 
     /// Parse a report back from JSON (`None` on malformed input).

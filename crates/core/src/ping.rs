@@ -82,7 +82,9 @@ impl PingProcess {
     }
 
     fn send_probe(&mut self, ctx: &mut SysCtx<'_>) {
-        let cfg = self.cfg.as_ref().expect("configured");
+        // Start always configures before probing; an unconfigured
+        // process simply stays idle instead of aborting the node.
+        let Some(cfg) = self.cfg.as_ref() else { return };
         let probe = PingProbe {
             session: cfg.session,
             seq: self.current_seq,
@@ -104,7 +106,7 @@ impl PingProcess {
     }
 
     fn advance(&mut self, ctx: &mut SysCtx<'_>) {
-        let cfg = self.cfg.as_ref().expect("configured");
+        let Some(cfg) = self.cfg.as_ref() else { return };
         if self.current_seq as u32 + 1 < cfg.rounds.max(1) as u32 {
             self.current_seq += 1;
             self.send_probe(ctx);
@@ -114,7 +116,7 @@ impl PingProcess {
     }
 
     fn finish(&mut self, ctx: &mut SysCtx<'_>) {
-        let cfg = self.cfg.as_ref().expect("configured");
+        let Some(cfg) = self.cfg.as_ref() else { return };
         let mut summary = PingSummary {
             target: cfg.dst,
             sent: self.sent,

@@ -111,7 +111,9 @@ impl BatchSender {
         }
         self.outstanding = seqs.clone();
         let total = self.chunks.len() as u8;
-        let last = *seqs.last().expect("nonempty");
+        // `seqs` is non-empty (checked above); fall back to 0 rather
+        // than carrying a panic path into deployed senders.
+        let last = *seqs.last().unwrap_or(&0);
         let mut steps: Vec<SendStep> = seqs
             .iter()
             .map(|&s| {

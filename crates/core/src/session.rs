@@ -165,7 +165,9 @@ impl std::fmt::Display for ProtoError {
 impl std::error::Error for ProtoError {}
 
 fn encode_json<T: Serialize>(msg: &T) -> Vec<u8> {
-    let json = serde_json::to_string(msg).expect("protocol types always serialize");
+    // Protocol types are plain data and always serialize; degrade to a
+    // JSON null rather than aborting the host on the impossible branch.
+    let json = serde_json::to_string(msg).unwrap_or_else(|_| String::from("null"));
     frame::encode(json.as_bytes())
 }
 
@@ -362,7 +364,12 @@ impl SessionHost {
                     RequestBody::ReportDiagnosis => reply(ResponseBody::Report {
                         json: ws.diagnosis_log().to_json(),
                     }),
-                    RequestBody::Hello { .. } | RequestBody::Bye => unreachable!("handled above"),
+                    // Hello/Bye are consumed by the session layer
+                    // before dispatch ever reaches here; answer with a
+                    // protocol error instead of aborting the host.
+                    RequestBody::Hello { .. } | RequestBody::Bye => reply(ResponseBody::Error {
+                        message: String::from("hello/bye are session-layer messages"),
+                    }),
                 }
             }
         }

@@ -168,7 +168,10 @@ pub fn parse_line(line: &str) -> Result<ShellInput, ParseError> {
         return Ok(ShellInput::Nothing);
     }
     let tokens: Vec<&str> = line.split_whitespace().collect();
-    let (verb, rest) = tokens.split_first().expect("nonempty");
+    // A trimmed non-empty line always splits into at least one token.
+    let Some((verb, rest)) = tokens.split_first() else {
+        return Ok(ShellInput::Nothing);
+    };
     match *verb {
         "cd" => {
             let target = rest

@@ -451,11 +451,7 @@ impl Process for TrSourceProcess {
                 };
                 if !record.reached_dst {
                     if let Some(task) = self.task.as_ref() {
-                        let (origin, origin_port) = {
-                            let cfg = self.cfg.as_ref().expect("configured");
-                            let _ = cfg;
-                            (ctx.node_id, session_port(task.session).0)
-                        };
+                        let (origin, origin_port) = (ctx.node_id, session_port(task.session).0);
                         task.hand_off(ctx, origin, origin_port);
                     }
                 }

@@ -120,8 +120,17 @@ impl SimQueue {
         })
     }
 
+    /// Lock the queue state, recovering from a poisoned mutex: the
+    /// state is a plain FIFO with no invariant a panicking holder can
+    /// leave half-updated, so poisoning is survivable.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, SimQueueState> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn push(&self, frame: &[u8]) -> Result<(), TransportError> {
-        let mut st = self.inner.lock().expect("sim queue poisoned");
+        let mut st = self.lock_inner();
         if st.closed {
             return Err(TransportError::Closed);
         }
@@ -134,7 +143,7 @@ impl SimQueue {
     }
 
     fn pop(&self, wait: Option<Duration>) -> Result<Option<Vec<u8>>, TransportError> {
-        let mut st = self.inner.lock().expect("sim queue poisoned");
+        let mut st = self.lock_inner();
         if let Some(f) = st.frames.pop_front() {
             return Ok(Some(f));
         }
@@ -145,7 +154,7 @@ impl SimQueue {
         let (mut st, _timed_out) = self
             .ready
             .wait_timeout_while(st, d, |st| st.frames.is_empty() && !st.closed)
-            .expect("sim queue poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match st.frames.pop_front() {
             Some(f) => Ok(Some(f)),
             None if st.closed => Err(TransportError::Closed),
@@ -154,7 +163,7 @@ impl SimQueue {
     }
 
     fn close(&self) {
-        let mut st = self.inner.lock().expect("sim queue poisoned");
+        let mut st = self.lock_inner();
         st.closed = true;
         self.ready.notify_all();
     }
@@ -200,12 +209,7 @@ impl SimTransport {
 
     /// Frames currently queued toward this endpoint.
     pub fn pending(&self) -> usize {
-        self.rx
-            .inner
-            .lock()
-            .expect("sim queue poisoned")
-            .frames
-            .len()
+        self.rx.lock_inner().frames.len()
     }
 }
 

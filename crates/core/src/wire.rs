@@ -39,7 +39,12 @@ fn need(buf: &[u8], n: usize) -> WireResult<()> {
 }
 
 fn u16_at(buf: &[u8], off: usize) -> u16 {
-    u16::from_be_bytes([buf[off], buf[off + 1]])
+    // Callers `need()` the length first; a short slice decodes as 0
+    // rather than aborting the mote.
+    match buf.get(off..off + 2) {
+        Some(b) => u16::from_be_bytes([b[0], b[1]]),
+        None => 0,
+    }
 }
 
 // ---------------------------------------------------------------------

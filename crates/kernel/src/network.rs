@@ -1864,6 +1864,10 @@ impl Network {
                         }
                         Err(e) => {
                             let now = self.now;
+                            // Cold error branch: the detail string is
+                            // built at most once per failed spawn, not
+                            // per event.
+                            // lv-lint: allow(hot-path-alloc-transitive)
                             self.nodes[idx].log.record(now, "spawn_fail", e.to_string());
                             self.counters.incr_id(CounterId::SysSpawnFail);
                         }

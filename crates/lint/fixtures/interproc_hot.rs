@@ -1,0 +1,35 @@
+//! Fixture for the `hot-path-alloc-transitive` graph rule. Not
+//! compiled — parsed by `tests/interproc.rs` with the kernel crate
+//! key. The tagged function itself is the per-file rule's job; only
+//! its callees are this rule's findings.
+
+// lv-lint: hot
+fn on_rx() {
+    build();
+    label();
+    label_allowed();
+    empty();
+}
+
+fn build() -> Box<u32> {
+    Box::new(1) // finding (line 15)
+}
+
+fn label() -> String {
+    1.to_string() // finding (line 19)
+}
+
+fn label_allowed() -> String {
+    1.to_string() // lv-lint: allow(hot-path-alloc-transitive)
+}
+
+fn empty() -> Vec<u8> {
+    // Capacity-zero `Vec::new` never touches the heap: exempt
+    // transitively (the per-file rule still bans it in tagged bodies).
+    Vec::new()
+}
+
+fn cold() -> Box<u32> {
+    // Not reachable from a hot function: no finding.
+    Box::new(2)
+}

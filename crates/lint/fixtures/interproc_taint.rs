@@ -1,0 +1,34 @@
+//! Fixture for the `determinism-taint` graph rule. Not compiled —
+//! parsed by `tests/interproc.rs` with the kernel crate key. The sink
+//! sits two hops below the event loop; the allowed twin is suppressed
+//! by an inline directive on the sink line.
+
+pub struct Network;
+
+impl Network {
+    pub fn dispatch(&mut self) {
+        deliver();
+    }
+}
+
+fn deliver() {
+    stamp();
+    stamp_allowed();
+}
+
+fn stamp() {
+    let t = Instant::now(); // finding (line 20)
+    let _ = t;
+}
+
+fn stamp_allowed() {
+    let t = Instant::now(); // lv-lint: allow(determinism-taint)
+    let _ = t;
+}
+
+fn unreached() {
+    // Not reachable from the event loop: no finding, even though the
+    // sink is real.
+    let t = Instant::now();
+    let _ = t;
+}

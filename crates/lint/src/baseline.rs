@@ -152,6 +152,49 @@ impl Baseline {
         outcome
     }
 
+    /// Drop entries whose file no longer exists, returning the removed
+    /// `(rule, path)` pairs. `exists` answers "is this repo-relative
+    /// path still a file?" — injected so tests need no filesystem.
+    /// `--update-baseline` runs this before re-rendering, so entries
+    /// for deleted files are dropped instead of being reported as
+    /// stale forever.
+    pub fn prune_missing_files(&mut self, exists: impl Fn(&str) -> bool) -> Vec<(String, String)> {
+        let doomed: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !exists(&e.path))
+            .map(|(h, _)| *h)
+            .collect();
+        let mut dropped = Vec::new();
+        for h in doomed {
+            if let Some(e) = self.entries.remove(&h) {
+                dropped.push((e.rule, e.path));
+            }
+        }
+        dropped.sort();
+        dropped
+    }
+
+    /// Serialize the parsed entries back out (same format as
+    /// [`Baseline::render`], preserving counts). Used after pruning.
+    pub fn render_entries(&self) -> String {
+        let mut out = String::from(
+            "# lv-lint baseline: grandfathered findings.\n\
+             # Format: <count> <fnv1a-64 hex> <rule> <path>\n\
+             # Regenerate with: cargo run -p lv-lint -- --update-baseline\n",
+        );
+        let mut rows: Vec<(&String, &String, u64, u32)> = self
+            .entries
+            .iter()
+            .map(|(h, e)| (&e.rule, &e.path, *h, e.count))
+            .collect();
+        rows.sort();
+        for (rule, path, hash, count) in rows {
+            out.push_str(&format!("{count} {hash:016x} {rule} {path}\n"));
+        }
+        out
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -175,6 +218,7 @@ mod tests {
             col: 1,
             message: String::new(),
             snippet: snippet.to_owned(),
+            chain: Vec::new(),
         }
     }
 
@@ -219,6 +263,31 @@ mod tests {
         let out = bl.apply(vec![f.clone(), f.clone(), f.clone()]);
         assert_eq!(out.absorbed, 2);
         assert_eq!(out.new.len(), 1);
+    }
+
+    #[test]
+    fn prune_drops_entries_for_deleted_files() {
+        let live = finding("no-panic", "crates/kernel/src/alive.rs", "x.unwrap();");
+        let gone = finding("no-panic", "crates/kernel/src/deleted.rs", "y.unwrap();");
+        let mut bl = Baseline::parse(&Baseline::render(&[live.clone(), gone])).unwrap();
+        assert_eq!(bl.len(), 2);
+        let dropped = bl.prune_missing_files(|p| p.ends_with("alive.rs"));
+        assert_eq!(
+            dropped,
+            vec![(
+                "no-panic".to_owned(),
+                "crates/kernel/src/deleted.rs".to_owned()
+            )]
+        );
+        assert_eq!(bl.len(), 1);
+        // The surviving entry still absorbs, and the deleted-file entry
+        // no longer shows up as stale.
+        let out = bl.apply(vec![live]);
+        assert_eq!(out.absorbed, 1);
+        assert!(out.stale.is_empty());
+        // Round-trip of the pruned set.
+        let reparsed = Baseline::parse(&bl.render_entries()).unwrap();
+        assert_eq!(reparsed.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! The interprocedural rules: taint queries over the call graph.
+//!
+//! Where the per-file rules ([`crate::rules`]) pattern-match one
+//! file's token stream, these four walk the workspace call graph
+//! ([`crate::graph`]) and report *reachability* facts, each with the
+//! full call chain from source to sink as evidence:
+//!
+//! * **determinism-taint** — wall-clock / OS-randomness / hash-order
+//!   sinks in code transitively reachable from the kernel event loop,
+//!   `Medium::assess*`, or a `TrialRunner` trial body. The per-file
+//!   rules already ban these sinks *inside* the sim-path crates; the
+//!   graph pass closes the remaining hole: harness code (where
+//!   `Instant` is normally legal) that a trial body can reach.
+//! * **panic-reachability** — pub API of the lib crates that can
+//!   transitively hit `panic!`/`unwrap`/`expect`/unguarded slice
+//!   indexing. Extends the per-file no-panic rule (kernel, radio)
+//!   across crate and call boundaries.
+//! * **hot-path-alloc-transitive** — allocations in *callees* of
+//!   `// lv-lint: hot` functions (the per-file rule covers the tagged
+//!   body itself; this covers everything it calls).
+//! * **shard-readiness** — `static mut` / interior-mutable statics
+//!   referenced from, and locks acquired in, event-loop-reachable
+//!   code: the hazards ROADMAP item 1's per-shard event queues must
+//!   not inherit.
+//!
+//! Suppression mirrors the per-file engine: an inline
+//! `// lv-lint: allow(<rule>)` on the sink line (or the line above)
+//! suppresses the finding; test functions never enter the graph.
+
+use crate::config::{HARNESS_CRATES, LIVE_CRATES, SIM_PATH_CRATES};
+use crate::graph::{FnId, Graph};
+use crate::parse::{ParsedFile, Sink};
+use crate::rules::{ChainHop, Finding};
+use std::collections::BTreeMap;
+
+/// A registered graph rule (name + summary, for `--list-rules` and
+/// docs; the checks themselves run via [`Analysis::run_rules`]).
+pub struct GraphRule {
+    /// Rule name, as used in allow directives and baselines.
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every interprocedural rule, in reporting order.
+pub const GRAPH_RULES: &[GraphRule] = &[
+    GraphRule {
+        name: "determinism-taint",
+        summary: "no wall-clock/os-random/hash-iter sink reachable from the event loop, \
+                  Medium::assess*, or TrialRunner trial bodies (reported with call chain)",
+    },
+    GraphRule {
+        name: "panic-reachability",
+        summary: "no panic!/unwrap/expect/unguarded-index reachable from lib-crate pub API \
+                  (reported with call chain)",
+    },
+    GraphRule {
+        name: "hot-path-alloc-transitive",
+        summary: "no Box::new/Vec::new/to_string in callees of `// lv-lint: hot` functions",
+    },
+    GraphRule {
+        name: "shard-readiness",
+        summary: "no static mut, interior-mutable static, or lock acquisition in \
+                  event-loop-reachable code (per-shard queues must not inherit them)",
+    },
+];
+
+/// Crates whose determinism sinks count: the sim path itself plus the
+/// harness crates — harness code may read the clock for *benchmark
+/// timing*, but not on a path a trial body or the event loop can
+/// reach. The live-transport crates are exempt by scope (real time is
+/// their job, and the sim never dispatches into them).
+fn det_sink_crate(key: &str) -> bool {
+    SIM_PATH_CRATES.contains(&key) || (HARNESS_CRATES.contains(&key) && key != "lint")
+}
+
+/// Crates whose pub API must not panic, and whose panic sites count as
+/// sinks: every lib crate that serves simulation or live traffic.
+/// Harness crates (testbed, bench) may fail fast on bad experiment
+/// configs — that is a feature, not a hazard.
+fn panic_crate(key: &str) -> bool {
+    SIM_PATH_CRATES.contains(&key) || LIVE_CRATES.contains(&key)
+}
+
+/// The analysis context: the call graph plus the side tables graph
+/// rules need (allow directives and statics, keyed by file).
+pub struct Analysis {
+    /// The workspace call graph.
+    pub graph: Graph,
+    /// Path → inline allow directives `(line, rule)`.
+    allows: BTreeMap<String, Vec<(u32, String)>>,
+    /// Hazardous statics: name → (path, line, why).
+    hazard_statics: BTreeMap<String, (String, u32, &'static str)>,
+}
+
+impl Analysis {
+    /// Build the graph and side tables from parsed files plus the
+    /// crate dependency map (crate key → direct dependency keys).
+    pub fn new(files: Vec<ParsedFile>, deps: &BTreeMap<String, Vec<String>>) -> Analysis {
+        let mut allows: BTreeMap<String, Vec<(u32, String)>> = BTreeMap::new();
+        let mut hazard_statics = BTreeMap::new();
+        for f in &files {
+            if !f.allows.is_empty() {
+                allows.insert(f.path.clone(), f.allows.clone());
+            }
+            for s in &f.statics {
+                if s.is_test {
+                    continue;
+                }
+                let why = if s.mutable {
+                    "`static mut`"
+                } else if s.interior_mutable {
+                    "interior-mutable static"
+                } else {
+                    continue;
+                };
+                hazard_statics.insert(s.name.clone(), (f.path.clone(), s.line, why));
+            }
+        }
+        Analysis {
+            graph: Graph::build(files, deps),
+            allows,
+            hazard_statics,
+        }
+    }
+
+    /// True when `rule` is suppressed at `path:line` by an inline
+    /// directive (same line or the line above — the per-file engine's
+    /// semantics).
+    fn is_allowed(&self, rule: &str, path: &str, line: u32) -> bool {
+        self.allows.get(path).is_some_and(|list| {
+            list.iter()
+                .any(|(l, r)| (*l == line || *l + 1 == line) && (r == rule || r == "all"))
+        })
+    }
+
+    /// Run all four graph rules, returning findings sorted by
+    /// `(path, line, col, rule)`.
+    pub fn run_rules(&self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        self.determinism_taint(&mut out);
+        self.panic_reachability(&mut out);
+        self.hot_path_alloc_transitive(&mut out);
+        self.shard_readiness(&mut out);
+        out.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+        });
+        out.dedup();
+        out
+    }
+
+    /// Event-loop sources: the kernel scheduler entry points and the
+    /// radio medium assessment (both define what "inside a simulated
+    /// event" means).
+    fn event_loop_sources(&self) -> Vec<FnId> {
+        self.graph.select(|n| {
+            (n.crate_key == "kernel"
+                && n.item.owner.as_deref() == Some("Network")
+                && matches!(n.item.name.as_str(), "run_until" | "run_for" | "dispatch"))
+                || (n.crate_key == "radio"
+                    && n.item.owner.as_deref() == Some("Medium")
+                    && n.item.name.starts_with("assess"))
+        })
+    }
+
+    /// Build the chain evidence for a node first reached via `parent`.
+    fn chain(&self, parent: &BTreeMap<FnId, FnId>, node: FnId) -> Vec<ChainHop> {
+        self.graph
+            .chain_to(parent, node)
+            .into_iter()
+            .map(|id| {
+                let n = &self.graph.fns[id];
+                ChainHop {
+                    func: n.pretty(),
+                    path: n.path.clone(),
+                    line: n.item.line,
+                }
+            })
+            .collect()
+    }
+
+    fn push(
+        &self,
+        out: &mut Vec<Finding>,
+        rule: &'static str,
+        path: &str,
+        sink: &Sink,
+        message: String,
+        chain: Vec<ChainHop>,
+    ) {
+        if self.is_allowed(rule, path, sink.line) {
+            return;
+        }
+        out.push(Finding {
+            rule,
+            path: path.to_owned(),
+            line: sink.line,
+            col: sink.col,
+            message,
+            snippet: sink.snippet.clone(),
+            chain,
+        });
+    }
+
+    fn determinism_taint(&self, out: &mut Vec<Finding>) {
+        let loop_roots = self.event_loop_sources();
+        let trial_roots = self.graph.select(|n| n.item.facts.trial_caller);
+        let mut roots = loop_roots.clone();
+        roots.extend(trial_roots.iter().copied());
+        if roots.is_empty() {
+            return;
+        }
+        let parent = self.graph.reach_forward(&roots);
+        for (&id, _) in &parent {
+            let n = &self.graph.fns[id];
+            if !det_sink_crate(&n.crate_key) {
+                continue;
+            }
+            // A trial *driver* may time the whole run with `Instant`
+            // around `TrialRunner::run`; only its callees are inside
+            // trial bodies. Event-loop sources have no such carve-out.
+            if n.item.facts.trial_caller && !loop_roots.contains(&id) {
+                continue;
+            }
+            let chain = self.chain(&parent, id);
+            let src = chain.first().map(|h| h.func.clone()).unwrap_or_default();
+            let sinks = n
+                .item
+                .facts
+                .wall_clock
+                .iter()
+                .map(|s| (s, "wall-clock"))
+                .chain(n.item.facts.os_random.iter().map(|s| (s, "OS-entropy")))
+                .chain(n.item.facts.hash_iter.iter().map(|s| (s, "hash-order")));
+            for (sink, class) in sinks {
+                self.push(
+                    out,
+                    "determinism-taint",
+                    &n.path,
+                    sink,
+                    format!(
+                        "`{}` is a {class} sink inside `{}`, which is reachable from \
+                         deterministic root `{src}` ({} hop{}); bit-reproducible runs \
+                         cannot depend on it",
+                        sink.what,
+                        n.pretty(),
+                        chain.len() - 1,
+                        if chain.len() == 2 { "" } else { "s" },
+                    ),
+                    chain.clone(),
+                );
+            }
+        }
+    }
+
+    fn panic_reachability(&self, out: &mut Vec<Finding>) {
+        let roots = self
+            .graph
+            .select(|n| n.item.is_pub && panic_crate(&n.crate_key));
+        if roots.is_empty() {
+            return;
+        }
+        let parent = self.graph.reach_forward(&roots);
+        for (&id, _) in &parent {
+            let n = &self.graph.fns[id];
+            if !panic_crate(&n.crate_key) {
+                continue;
+            }
+            let chain = self.chain(&parent, id);
+            let src = chain.first().map(|h| h.func.clone()).unwrap_or_default();
+            let sinks = n
+                .item
+                .facts
+                .panics
+                .iter()
+                .chain(n.item.facts.index_sinks.iter());
+            for sink in sinks {
+                self.push(
+                    out,
+                    "panic-reachability",
+                    &n.path,
+                    sink,
+                    format!(
+                        "`{}` can abort a deployment and is reachable from pub API \
+                         `{src}`; return a typed error or guard the access",
+                        sink.what,
+                    ),
+                    chain.clone(),
+                );
+            }
+        }
+    }
+
+    fn hot_path_alloc_transitive(&self, out: &mut Vec<Finding>) {
+        let roots = self.graph.select(|n| n.item.is_hot);
+        if roots.is_empty() {
+            return;
+        }
+        // Static edges only: crossing a dyn-dispatch boundary hands
+        // control to a process/application, which owns its own
+        // allocation budget — the hot region is the lexical call tree.
+        let parent = self.graph.reach_forward_static(&roots);
+        for (&id, _) in &parent {
+            // The hot body itself is the per-file rule's job; this rule
+            // owns the callees.
+            if roots.contains(&id) {
+                continue;
+            }
+            let n = &self.graph.fns[id];
+            let chain = self.chain(&parent, id);
+            let src = chain.first().map(|h| h.func.clone()).unwrap_or_default();
+            for sink in &n.item.facts.allocs {
+                // `Vec::new()` is capacity-zero and never touches the
+                // heap (growth allocates at the push site, which flow
+                // analysis would be needed to attribute). The per-file
+                // rule still bans it inside tagged bodies outright;
+                // transitively, only true allocations count.
+                if sink.what == "Vec::new" {
+                    continue;
+                }
+                self.push(
+                    out,
+                    "hot-path-alloc-transitive",
+                    &n.path,
+                    sink,
+                    format!(
+                        "`{}` allocates inside `{}`, a callee of hot function `{src}`; \
+                         hoist the allocation or take a buffer from the caller",
+                        sink.what,
+                        n.pretty(),
+                    ),
+                    chain.clone(),
+                );
+            }
+        }
+    }
+
+    fn shard_readiness(&self, out: &mut Vec<Finding>) {
+        let roots = self.event_loop_sources();
+        if roots.is_empty() {
+            return;
+        }
+        let parent = self.graph.reach_forward(&roots);
+        for (&id, _) in &parent {
+            let n = &self.graph.fns[id];
+            let chain = self.chain(&parent, id);
+            for sink in &n.item.facts.locks {
+                self.push(
+                    out,
+                    "shard-readiness",
+                    &n.path,
+                    sink,
+                    format!(
+                        "`{}` acquires a lock in event-loop-reachable `{}`; per-shard \
+                         event queues (ROADMAP item 1) cannot tolerate cross-shard \
+                         blocking here",
+                        sink.what,
+                        n.pretty(),
+                    ),
+                    chain.clone(),
+                );
+            }
+            for sink in &n.item.facts.caps_refs {
+                let Some((decl_path, decl_line, why)) = self.hazard_statics.get(&sink.what) else {
+                    continue;
+                };
+                self.push(
+                    out,
+                    "shard-readiness",
+                    &n.path,
+                    sink,
+                    format!(
+                        "`{}` ({why}, declared {decl_path}:{decl_line}) is shared mutable \
+                         state referenced from event-loop-reachable `{}`; shard-local \
+                         state must be owned by the shard",
+                        sink.what,
+                        n.pretty(),
+                    ),
+                    chain.clone(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::rules::FileContext;
+
+    fn analyze(files: &[(&str, &str)], deps: &[(&str, &[&str])]) -> Vec<Finding> {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(p, s)| parse_file(&FileContext::new(p, s), p))
+            .collect();
+        let deps: BTreeMap<String, Vec<String>> = deps
+            .iter()
+            .map(|(k, ds)| {
+                (
+                    (*k).to_owned(),
+                    ds.iter().map(|s| (*s).to_owned()).collect(),
+                )
+            })
+            .collect();
+        Analysis::new(parsed, &deps).run_rules()
+    }
+
+    #[test]
+    fn determinism_taint_crosses_into_harness_code() {
+        let findings = analyze(
+            &[(
+                "crates/testbed/src/drive.rs",
+                "pub fn drive() { let r = TrialRunner::new(1, 4); r.run(|t| body(t)); }\n\
+                     fn body(t: u32) -> u32 { stamp(); t }\n\
+                     fn stamp() { let _ = Instant::now(); }\n",
+            )],
+            &[("testbed", &[])],
+        );
+        let taint: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "determinism-taint")
+            .collect();
+        assert_eq!(taint.len(), 1, "{findings:?}");
+        assert_eq!(taint[0].line, 3);
+        assert!(taint[0].message.contains("wall-clock"));
+        let funcs: Vec<&str> = taint[0].chain.iter().map(|h| h.func.as_str()).collect();
+        assert_eq!(
+            funcs,
+            vec![
+                "testbed::drive::drive",
+                "testbed::drive::body",
+                "testbed::drive::stamp"
+            ],
+            "full chain from trial driver to sink"
+        );
+    }
+
+    #[test]
+    fn trial_driver_may_time_the_whole_run() {
+        // `Instant` around `TrialRunner::run` in the driver itself is
+        // benchmark timing, not trial-body taint.
+        let findings = analyze(
+            &[(
+                "crates/testbed/src/drive.rs",
+                "pub fn drive() { let t0 = Instant::now(); let r = TrialRunner::new(1, 4); \
+                 r.run(|t| t); let _ = t0.elapsed(); }\n",
+            )],
+            &[("testbed", &[])],
+        );
+        assert!(
+            findings.iter().all(|f| f.rule != "determinism-taint"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn panic_reachability_crosses_crates_with_chain() {
+        let findings = analyze(
+            &[
+                (
+                    "crates/kernel/src/lib.rs",
+                    "pub struct Network;\nimpl Network { pub fn run_until(&mut self) { helper(); } }\n\
+                     fn helper() { lv_net::decode(); }\n",
+                ),
+                (
+                    "crates/net/src/lib.rs",
+                    "pub fn decode() { inner(); }\nfn inner(x: Option<u32>) { x.unwrap(); }\n",
+                ),
+            ],
+            &[("kernel", &["net"]), ("net", &[])],
+        );
+        let hits: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "panic-reachability")
+            .collect();
+        assert!(!hits.is_empty(), "{findings:?}");
+        let with_chain = hits.iter().find(|f| f.chain.len() >= 2).expect("chained");
+        assert!(with_chain.path.ends_with("crates/net/src/lib.rs"));
+        assert!(with_chain.message.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn unguarded_index_in_byte_parser_is_a_sink() {
+        let findings = analyze(
+            &[(
+                "crates/net/src/lib.rs",
+                "pub fn decode(buf: &[u8]) -> u8 { buf[0] }\n\
+                 pub fn safe(buf: &[u8]) -> u8 { if buf.len() < 1 { return 0; } buf[0] }\n",
+            )],
+            &[("net", &[])],
+        );
+        let hits: Vec<u32> = findings
+            .iter()
+            .filter(|f| f.rule == "panic-reachability")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(hits, vec![1], "unguarded flagged, guarded exempt");
+    }
+
+    #[test]
+    fn hot_path_alloc_found_in_callees_only() {
+        let findings = analyze(
+            &[(
+                "crates/kernel/src/lib.rs",
+                "// lv-lint: hot\nfn on_rx() { build(); }\n\
+                 fn build() { let v = Box::new(1u8); let _ = v; let z: Vec<u8> = Vec::new(); let _ = z; }\n",
+            )],
+            &[("kernel", &[])],
+        );
+        let hits: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "hot-path-alloc-transitive")
+            .collect();
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert_eq!(hits[0].line, 3);
+        assert!(hits[0].message.contains("Box::new"));
+    }
+
+    #[test]
+    fn shard_readiness_flags_locks_and_statics() {
+        let findings = analyze(
+            &[
+                (
+                    "crates/kernel/src/lib.rs",
+                    "pub struct Network;\nimpl Network { pub fn dispatch(&mut self) { tick(); } }\n\
+                     fn tick() { let _g = QUEUE.lock(); let _n = COUNT; }\n",
+                ),
+                (
+                    "crates/sim/src/lib.rs",
+                    "static QUEUE: Mutex<u32> = Mutex::new(0);\nstatic mut COUNT: u32 = 0;\n",
+                ),
+            ],
+            &[("kernel", &["sim"]), ("sim", &[])],
+        );
+        let hits: Vec<&str> = findings
+            .iter()
+            .filter(|f| f.rule == "shard-readiness")
+            .map(|f| f.message.as_str())
+            .collect();
+        assert_eq!(hits.len(), 3, "{findings:?}");
+        assert!(hits.iter().any(|m| m.contains(".lock()")));
+        assert!(hits.iter().any(|m| m.contains("static mut")));
+        assert!(hits.iter().any(|m| m.contains("interior-mutable")));
+    }
+
+    #[test]
+    fn allow_directive_suppresses_each_graph_rule() {
+        // One specimen per rule, each silenced by its own allow.
+        let findings = analyze(
+            &[
+                (
+                    "crates/testbed/src/a.rs",
+                    "pub fn drive() { let r = TrialRunner::new(1, 4); r.run(|t| body(t)); }\n\
+                     fn body(t: u32) -> u32 { // lv-lint: allow(determinism-taint)\n\
+                     let _ = Instant::now(); t }\n",
+                ),
+                (
+                    "crates/kernel/src/b.rs",
+                    "pub struct Network;\nimpl Network { pub fn dispatch(&mut self) { f(); } }\n\
+                     fn f(x: Option<u32>) { // lv-lint: allow(panic-reachability)\n\
+                     x.unwrap();\n\
+                     let _g = G.lock(); // lv-lint: allow(shard-readiness)\n}\n\
+                     // lv-lint: hot\nfn hot() { g(); }\n\
+                     fn g() { let _v = Vec::new(); // lv-lint: allow(hot-path-alloc-transitive)\n}\n",
+                ),
+                (
+                    "crates/sim/src/c.rs",
+                    "static G: Mutex<u32> = Mutex::new(0); // lv-lint: allow(shard-readiness)\n",
+                ),
+            ],
+            &[("testbed", &[]), ("kernel", &["sim"]), ("sim", &[])],
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn event_loop_taint_has_no_driver_carve_out() {
+        let findings = analyze(
+            &[(
+                "crates/kernel/src/lib.rs",
+                "pub struct Network;\n\
+                 impl Network { pub fn run_until(&mut self) { let _ = Instant::now(); } }\n",
+            )],
+            &[("kernel", &[])],
+        );
+        assert!(
+            findings.iter().any(|f| f.rule == "determinism-taint"),
+            "{findings:?}"
+        );
+    }
+}

@@ -107,8 +107,15 @@ impl<'a> Lexer<'a> {
         *self.bytes.get(self.pos + ahead).unwrap_or(&0)
     }
 
-    /// Advance one byte, maintaining the line/column counters.
+    /// Advance one byte, maintaining the line/column counters. A no-op
+    /// at end of input, so multi-byte consumers (escape sequences,
+    /// comment closers) can never push the cursor past the end of the
+    /// source — an escape at EOF (`"\`) used to do exactly that and
+    /// panic the span slice in `emit`.
     fn bump(&mut self) {
+        if self.pos >= self.bytes.len() {
+            return;
+        }
         if self.peek(0) == b'\n' {
             self.line += 1;
             self.col = 1;
@@ -443,6 +450,65 @@ mod tests {
     fn unterminated_string_does_not_panic() {
         let toks = kinds("\"never closed");
         assert_eq!(toks[0].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn escape_at_eof_does_not_panic() {
+        // `"\` — the escape consumes two bytes but only one remains.
+        for src in ["\"\\", "'\\", "b\"\\", "fn f() { let s = \"abc\\"] {
+            let toks = tokenize(src);
+            assert!(!toks.is_empty(), "no tokens for {src:?}");
+            for t in &toks {
+                assert!(t.text.len() <= src.len());
+            }
+        }
+    }
+
+    #[test]
+    fn raw_string_contents_stay_inside_the_token() {
+        // Sink-looking text inside raw strings must never leak into the
+        // ident stream where a rule could see it.
+        let src = r####"let a = r"Instant::now()"; let b = r#"x.unwrap() /* { "#; let c = 1;"####;
+        let toks = tokenize(src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, vec!["let", "a", "let", "b", "let", "c"]);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs.len(), 2, "{strs:?}");
+        assert!(strs[0].contains("Instant"));
+        assert!(strs[1].contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_string_with_more_hashes_than_needed() {
+        let src = r#####"r###"a "# b "## c"### x"#####;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn nested_block_comment_with_quotes_inside() {
+        // Block comments nest regardless of quote characters inside
+        // them (rustc behaves the same way): the `"` before the inner
+        // `/*` must not suspend depth tracking.
+        let toks = kinds("/* \" /* \" */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "code"));
+    }
+
+    #[test]
+    fn byte_raw_string() {
+        let toks = kinds(r###"br#"x " y"# z"###);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "z"));
     }
 
     #[test]

@@ -23,17 +23,86 @@
 
 pub mod baseline;
 pub mod config;
+pub mod graph;
+pub mod interproc;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
-use config::LintConfig;
+use config::{CrateSet, LintConfig, RuleConfig};
+use interproc::Analysis;
+use parse::{parse_file, ParsedFile, Sink};
 use rules::{check_file, FileContext, Finding};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Lint one in-memory source file under `config`.
 pub fn lint_source(path: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
     let ctx = FileContext::new(path, src);
     check_file(&ctx, config)
+}
+
+/// Parse one in-memory source file into the call-graph item model,
+/// harvesting hash-iter sinks from the per-file rule as it goes (so
+/// the taint pass and the lexical pass agree on what "iterating a
+/// hash collection" means — including its allow directives).
+pub fn parse_source(path: &str, src: &str) -> ParsedFile {
+    let ctx = FileContext::new(path, src);
+    let mut parsed = parse_file(&ctx, path);
+    let hash_iter_cfg = LintConfig {
+        rules: vec![RuleConfig {
+            rule: "hash-iter".to_owned(),
+            crates: CrateSet::All,
+        }],
+    };
+    for f in check_file(&ctx, &hash_iter_cfg) {
+        for item in &mut parsed.fns {
+            if f.line >= item.line && f.line <= item.end_line {
+                item.facts.hash_iter.push(Sink {
+                    line: f.line,
+                    col: f.col,
+                    what: "hash-iter".to_owned(),
+                    snippet: f.snippet.clone(),
+                });
+                break;
+            }
+        }
+    }
+    parsed
+}
+
+/// Read every `crates/*/Cargo.toml` under `root` and return the crate
+/// dependency map (directory key → direct dependency keys, package
+/// names normalized via [`graph::crate_key_of_pkg`]).
+pub fn workspace_deps(root: &Path) -> BTreeMap<String, Vec<String>> {
+    let mut out = BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let manifest = entry.path().join("Cargo.toml");
+        let Ok(toml) = std::fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let key = entry.file_name().to_string_lossy().into_owned();
+        out.insert(key, graph::parse_manifest_deps(&toml));
+    }
+    out
+}
+
+/// Build the interprocedural analysis (call graph + side tables) for
+/// the workspace under `root`. Unreadable files are skipped here; the
+/// lexical pass reports them.
+pub fn build_analysis(root: &Path) -> Analysis {
+    let deps = workspace_deps(root);
+    let mut files = Vec::new();
+    for rel in workspace_sources(root) {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if let Ok(src) = std::fs::read_to_string(root.join(&rel)) {
+            files.push(parse_source(&rel_str, &src));
+        }
+    }
+    Analysis::new(files, &deps)
 }
 
 /// Collect the workspace source files to scan, repo-relative, sorted.
@@ -80,15 +149,21 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lint every workspace source under `root`, returning findings sorted
+/// Lint every workspace source under `root` with the per-file rules
+/// **and** the interprocedural graph rules, returning findings sorted
 /// by `(path, line, col, rule)`. I/O errors on individual files are
 /// reported as findings on line 0 rather than aborting the scan.
 pub fn lint_workspace(root: &Path, config: &LintConfig) -> Vec<Finding> {
+    let deps = workspace_deps(root);
     let mut findings = Vec::new();
+    let mut parsed_files = Vec::new();
     for rel in workspace_sources(root) {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         match std::fs::read_to_string(root.join(&rel)) {
-            Ok(src) => findings.extend(lint_source(&rel_str, &src, config)),
+            Ok(src) => {
+                findings.extend(lint_source(&rel_str, &src, config));
+                parsed_files.push(parse_source(&rel_str, &src));
+            }
             Err(e) => findings.push(Finding {
                 rule: "io-error",
                 path: rel_str,
@@ -96,9 +171,11 @@ pub fn lint_workspace(root: &Path, config: &LintConfig) -> Vec<Finding> {
                 col: 0,
                 message: format!("could not read file: {e}"),
                 snippet: String::new(),
+                chain: Vec::new(),
             }),
         }
     }
+    findings.extend(Analysis::new(parsed_files, &deps).run_rules());
     findings.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });

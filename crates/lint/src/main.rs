@@ -2,9 +2,11 @@
 
 use lv_lint::baseline::Baseline;
 use lv_lint::config::LintConfig;
-use lv_lint::{lint_workspace, rules};
+use lv_lint::rules::Finding;
+use lv_lint::{build_analysis, interproc, lint_workspace, rules};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "\
 lv-lint — workspace determinism & invariant analyzer
@@ -16,17 +18,23 @@ OPTIONS:
     --root <dir>         Workspace root to scan (default: auto-detected)
     --baseline <file>    Baseline file (default: <root>/lint-baseline.txt)
     --update-baseline    Rewrite the baseline to absorb all current findings
+                         (entries for deleted files are dropped)
     --no-baseline        Ignore the baseline file entirely
+    --format <fmt>       Findings output: `text` (default) or `json`
+    --graph <file>       Dump the workspace call graph as Graphviz DOT
+                         (`-` for stdout) and exit
+    --max-seconds <n>    Fail if the scan takes longer than n seconds
+                         (CI timing budget)
     --list-rules         Print the registered rules and exit
     -h, --help           Print this help
 
 EXIT STATUS:
     0  no findings beyond the baseline
-    1  new findings (or a malformed baseline)
+    1  new findings (or a malformed baseline, or over time budget)
     2  bad usage
 
 Suppress a single finding with `// lv-lint: allow(<rule>)` on the
-offending line or the line above. See DESIGN.md §12.";
+offending line or the line above. See DESIGN.md §12 and §16.";
 
 fn find_root() -> PathBuf {
     // Walk up from the CWD to the directory holding the workspace
@@ -42,11 +50,69 @@ fn find_root() -> PathBuf {
     }
 }
 
+/// Minimal JSON string escaping (the findings format has no nesting
+/// beyond strings and numbers, so this is all we need — the lint crate
+/// stays dependency-free).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON array (stable field order, one finding
+/// per element, chain included) for the CI artifact and the problem
+/// matcher's consumers.
+fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\", \"snippet\": \"{}\", \"chain\": [",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message),
+            json_escape(&f.snippet),
+        ));
+        for (j, hop) in f.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"func\": \"{}\", \"path\": \"{}\", \"line\": {}}}",
+                json_escape(&hop.func),
+                json_escape(&hop.path),
+                hop.line
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut update_baseline = false;
     let mut no_baseline = false;
+    let mut format = String::from("text");
+    let mut graph_out: Option<String> = None;
+    let mut max_seconds: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,9 +127,28 @@ fn main() -> ExitCode {
             },
             "--update-baseline" => update_baseline = true,
             "--no-baseline" => no_baseline = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".to_owned(),
+                Some("json") => format = "json".to_owned(),
+                Some(other) => {
+                    return usage_error(&format!("--format must be text or json, got `{other}`"))
+                }
+                None => return usage_error("--format needs a value"),
+            },
+            "--graph" => match args.next() {
+                Some(v) => graph_out = Some(v),
+                None => return usage_error("--graph needs a value (file path or `-`)"),
+            },
+            "--max-seconds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_seconds = Some(n),
+                None => return usage_error("--max-seconds needs an integer value"),
+            },
             "--list-rules" => {
                 for r in rules::RULES {
-                    println!("{:<16} {}", r.name, r.summary);
+                    println!("{:<28} {}", r.name, r.summary);
+                }
+                for r in interproc::GRAPH_RULES {
+                    println!("{:<28} {}", r.name, r.summary);
                 }
                 return ExitCode::SUCCESS;
             }
@@ -79,18 +164,44 @@ fn main() -> ExitCode {
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
     let config = LintConfig::default_for_workspace();
 
+    if let Some(dest) = graph_out {
+        let dot = build_analysis(&root).graph.to_dot();
+        if dest == "-" {
+            print!("{dot}");
+        } else if let Err(e) = std::fs::write(&dest, &dot) {
+            eprintln!("lv-lint: cannot write {dest}: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let started = Instant::now();
     let findings = lint_workspace(&root, &config);
+    let elapsed = started.elapsed();
 
     if update_baseline {
+        // Start from the fresh findings, but also drop any *existing*
+        // entries whose file no longer exists — deleting a file must
+        // not leave its entries reported as stale forever.
+        let mut merged = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => Baseline::parse(&t).unwrap_or_default(),
+            Err(_) => Baseline::default(),
+        };
+        let dropped = merged.prune_missing_files(|p| root.join(p).is_file());
+        for (rule, path) in &dropped {
+            eprintln!("lv-lint: dropped baseline entry for [{rule}] in deleted {path}");
+        }
         let text = Baseline::render(&findings);
         if let Err(e) = std::fs::write(&baseline_path, &text) {
             eprintln!("lv-lint: cannot write {}: {e}", baseline_path.display());
             return ExitCode::FAILURE;
         }
         println!(
-            "lv-lint: baseline updated with {} finding(s) at {}",
+            "lv-lint: baseline updated with {} finding(s) at {} ({} deleted-file entr{} dropped)",
             findings.len(),
-            baseline_path.display()
+            baseline_path.display(),
+            dropped.len(),
+            if dropped.len() == 1 { "y" } else { "ies" },
         );
         return ExitCode::SUCCESS;
     }
@@ -117,20 +228,43 @@ fn main() -> ExitCode {
     let scanned = lv_lint::workspace_sources(&root).len();
     let outcome = baseline.apply(findings);
 
-    for f in &outcome.new {
-        println!("{}", f.render());
+    if format == "json" {
+        print!("{}", render_json(&outcome.new));
+    } else {
+        for f in &outcome.new {
+            println!("{}", f.render());
+            print!("{}", f.render_chain());
+        }
     }
     for (rule, path) in &outcome.stale {
-        eprintln!("lv-lint: stale baseline entry for [{rule}] in {path} — remove it");
+        if root.join(path).is_file() {
+            eprintln!("lv-lint: stale baseline entry for [{rule}] in {path} — remove it");
+        } else {
+            eprintln!(
+                "lv-lint: stale baseline entry for [{rule}] in deleted {path} — \
+                 run --update-baseline to drop it"
+            );
+        }
     }
     eprintln!(
-        "lv-lint: {} file(s) scanned, {} new finding(s), {} baselined, {} stale baseline entr{}",
+        "lv-lint: {} file(s) scanned, {} new finding(s), {} baselined, {} stale baseline entr{}, {:.2}s",
         scanned,
         outcome.new.len(),
         outcome.absorbed,
         outcome.stale.len(),
         if outcome.stale.len() == 1 { "y" } else { "ies" },
+        elapsed.as_secs_f64(),
     );
+
+    if let Some(budget) = max_seconds {
+        if elapsed.as_secs_f64() > budget as f64 {
+            eprintln!(
+                "lv-lint: scan took {:.2}s, over the {budget}s budget",
+                elapsed.as_secs_f64()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     if outcome.new.is_empty() {
         ExitCode::SUCCESS

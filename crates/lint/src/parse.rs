@@ -1,0 +1,1154 @@
+//! Item-level parsing on top of the token stream.
+//!
+//! The interprocedural rules need more structure than the per-file
+//! rules: which functions exist (with their module path, owning
+//! `impl`/`trait` type, and visibility), what each body *calls*, and
+//! which lexical facts (sinks) each body contains. This module builds
+//! that structure with a hand-rolled single-pass walk over the
+//! significant token stream — still no `syn`, still resilient: it never
+//! panics on malformed input, it just produces fewer items.
+//!
+//! It is explicitly *not* a Rust parser. It recognizes exactly the
+//! shapes the call-graph needs — `fn`/`impl`/`trait`/`mod`/`use`/
+//! `static` items, call and method-call expressions — and skips
+//! everything else. Macro bodies are treated as expression soup (their
+//! tokens are scanned for calls and facts like any other body tokens),
+//! which over-approximates but never hides a call site.
+
+use crate::lexer::TokenKind;
+use crate::rules::FileContext;
+
+/// One lexical fact ("sink") observed inside a function body, with
+/// enough position info to report a finding at the site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sink {
+    /// 1-based line of the sink token.
+    pub line: u32,
+    /// 1-based column of the sink token.
+    pub col: u32,
+    /// What was seen (`Instant`, `unwrap`, `Box::new`, `[..] index`, …).
+    pub what: String,
+    /// Trimmed source line (for baseline fingerprints).
+    pub snippet: String,
+}
+
+/// Lexical facts extracted from one function body.
+#[derive(Debug, Clone, Default)]
+pub struct FnFacts {
+    /// Wall-clock time sources: `Instant`, `SystemTime`.
+    pub wall_clock: Vec<Sink>,
+    /// OS entropy: `thread_rng`, `OsRng`, `RandomState`, ….
+    pub os_random: Vec<Sink>,
+    /// Iteration over hash-backed collections (filled in by the
+    /// analyzer from the per-file hash-iter pass; see `lib.rs`).
+    pub hash_iter: Vec<Sink>,
+    /// Panic sites: `panic!`/`unreachable!`/`todo!`/`unimplemented!`
+    /// macros plus `.unwrap()`/`.expect(` calls.
+    pub panics: Vec<Sink>,
+    /// Unguarded slice-index expressions (`x[i]` with no `x.len()` /
+    /// `x.is_empty()` / `x.get(` appearing anywhere in the same body).
+    pub index_sinks: Vec<Sink>,
+    /// Heap allocations the hot-path policy bans: `Box::new`,
+    /// `Vec::new`, `.to_string()`.
+    pub allocs: Vec<Sink>,
+    /// Lock acquisitions: `.lock(` / `.try_lock(`.
+    pub locks: Vec<Sink>,
+    /// ALL_CAPS identifiers referenced by the body — candidate static
+    /// references, matched against declared statics at rule time.
+    pub caps_refs: Vec<Sink>,
+    /// True when the body mentions `TrialRunner` and calls `.run(` —
+    /// the lexical signature of a multi-trial driver whose closure is
+    /// a trial body.
+    pub trial_caller: bool,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `foo(…)` or `a::b::foo(…)` — statically-resolved free or
+    /// associated call; `quals` holds the path segments before the
+    /// final name (empty for a bare call).
+    Path {
+        /// Path segments before the called name (`a`, `b` for
+        /// `a::b::foo(…)`).
+        quals: Vec<String>,
+    },
+    /// `recv.foo(…)` — method call, possibly dynamic dispatch.
+    Method,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called name (last path segment / method name).
+    pub name: String,
+    /// Free/associated path call vs. method call.
+    pub kind: CallKind,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// One parsed function (or method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Module path inside the crate (file modules + inline `mod`s).
+    pub module: Vec<String>,
+    /// `impl` type or `trait` name owning this fn, if any.
+    pub owner: Option<String>,
+    /// Trait name when the fn lives in an `impl Trait for Type` block.
+    pub trait_impl: Option<String>,
+    /// Fully `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// Inside a `#[cfg(test)]` region or `#[test]` item.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Last line of the body (== `line` for bodyless trait decls).
+    pub end_line: u32,
+    /// Signature mentions a byte-slice param (`&[u8]`, `[u8; N]`) —
+    /// the wire-parser shape the index-sink policy applies to.
+    pub byte_slice_param: bool,
+    /// Tagged `// lv-lint: hot` on the `fn` line or the line above.
+    pub is_hot: bool,
+    /// Call sites inside the body.
+    pub calls: Vec<CallSite>,
+    /// Lexical facts inside the body.
+    pub facts: FnFacts,
+}
+
+/// A `static` item declaration.
+#[derive(Debug, Clone)]
+pub struct StaticItem {
+    /// The static's name.
+    pub name: String,
+    /// Declared `static mut`.
+    pub mutable: bool,
+    /// Type mentions an interior-mutability cell (`Mutex`, `RefCell`,
+    /// `Cell`, `RwLock`, `Atomic*`, `OnceLock`, `LazyLock`,
+    /// `UnsafeCell`, `OnceCell`).
+    pub interior_mutable: bool,
+    /// 1-based line of the `static` keyword.
+    pub line: u32,
+    /// Inside a test region.
+    pub is_test: bool,
+}
+
+/// One `use` mapping: local name → full imported path.
+#[derive(Debug, Clone)]
+pub struct UseItem {
+    /// The name this import binds locally (alias if `as` was used,
+    /// `*` for glob imports).
+    pub local: String,
+    /// The imported path segments (for globs, the prefix).
+    pub path: Vec<String>,
+}
+
+/// Everything the call graph needs from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Repo-relative path.
+    pub path: String,
+    /// Crate key (`kernel`, `serve`, …, `root`).
+    pub crate_key: String,
+    /// Module path derived from the file's location under `src/`.
+    pub file_module: Vec<String>,
+    /// Parsed functions.
+    pub fns: Vec<FnItem>,
+    /// Parsed statics.
+    pub statics: Vec<StaticItem>,
+    /// `use` imports (file-level and module-level, flattened).
+    pub uses: Vec<UseItem>,
+    /// Trait names *defined* (not implemented) in this file.
+    pub traits_defined: Vec<String>,
+    /// Inline `lv-lint: allow(rule)` directives, as `(line, rule)`.
+    pub allows: Vec<(u32, String)>,
+}
+
+/// Derive the in-crate module path from a repo-relative file path:
+/// `crates/net/src/routing/flooding.rs` → `["routing", "flooding"]`,
+/// `crates/net/src/routing/mod.rs` → `["routing"]`, `lib.rs`/`main.rs`
+/// → `[]`.
+pub fn file_module_path(path: &str) -> Vec<String> {
+    let rest = match path.find("/src/") {
+        Some(i) => &path[i + 5..],
+        None => match path.strip_prefix("src/") {
+            Some(r) => r,
+            None => path,
+        },
+    };
+    let rest = rest.strip_suffix(".rs").unwrap_or(rest);
+    let mut parts: Vec<String> = rest.split('/').map(str::to_owned).collect();
+    if let Some(last) = parts.last() {
+        if last == "lib" || last == "main" || last == "mod" {
+            parts.pop();
+        }
+    }
+    parts
+}
+
+/// Parse one file's items. `ctx` must have been built from the same
+/// source text as `path` names.
+pub fn parse_file(ctx: &FileContext<'_>, path: &str) -> ParsedFile {
+    let mut out = ParsedFile {
+        path: path.to_owned(),
+        crate_key: ctx.crate_key.to_owned(),
+        file_module: file_module_path(path),
+        allows: ctx.allow_directives().to_vec(),
+        ..ParsedFile::default()
+    };
+    let hot_lines = hot_tag_lines(ctx);
+    let mut p = Parser {
+        ctx,
+        out: &mut out,
+        hot_lines,
+    };
+    let end = ctx.sig.len();
+    let module = p.out.file_module.clone();
+    p.parse_items(0, end, &module, &Owner::None);
+    out
+}
+
+/// Who owns the items currently being parsed.
+enum Owner {
+    /// Top level or inside a `mod`.
+    None,
+    /// Inside `impl Type { … }`.
+    Impl {
+        /// The implementing type's name.
+        ty: String,
+        /// Trait name for `impl Trait for Type` blocks.
+        trait_name: Option<String>,
+    },
+    /// Inside `trait Name { … }` (default methods).
+    Trait(String),
+}
+
+/// Lines carrying a `// lv-lint: hot` tag (shared with the per-file
+/// hot-path-alloc rule's convention).
+fn hot_tag_lines(ctx: &FileContext<'_>) -> Vec<u32> {
+    ctx.tokens
+        .iter()
+        .filter(|t| t.is_comment())
+        .filter_map(|t| {
+            let at = t.text.find("lv-lint:")?;
+            let rest = t.text[at + "lv-lint:".len()..].trim_start();
+            rest.starts_with("hot").then_some(t.line)
+        })
+        .collect()
+}
+
+const KEYWORDS_NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "let", "else", "move", "in", "as", "fn",
+    "impl", "dyn", "where", "unsafe", "async", "await", "break", "continue", "use", "pub", "mod",
+    "struct", "enum", "trait", "type", "const", "static", "ref", "mut", "self", "Self", "super",
+    "crate",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented", "assert"];
+
+struct Parser<'a, 'b> {
+    ctx: &'a FileContext<'b>,
+    out: &'a mut ParsedFile,
+    hot_lines: Vec<u32>,
+}
+
+impl Parser<'_, '_> {
+    fn text(&self, i: usize) -> &str {
+        self.ctx.sig_text_pub(i)
+    }
+
+    fn line_of(&self, i: usize) -> u32 {
+        self.ctx.sig_tok(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    /// Parse items in the sig-index range `[i, end)`. `module` is the
+    /// current module path; `owner` the enclosing impl/trait.
+    fn parse_items(&mut self, mut i: usize, end: usize, module: &[String], owner: &Owner) {
+        let mut is_pub = false;
+        while i < end {
+            match self.text(i) {
+                "#" if self.text(i + 1) == "[" => {
+                    i = self.ctx.matching_pub(i + 1, "[", "]") + 1;
+                }
+                "pub" => {
+                    // `pub(crate)` / `pub(super)` are not public API.
+                    is_pub = self.text(i + 1) != "(";
+                    if self.text(i + 1) == "(" {
+                        i = self.ctx.matching_pub(i + 1, "(", ")") + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "unsafe" | "async" | "extern" | "default" => i += 1,
+                "const" if self.text(i + 1) == "fn" => i += 1,
+                "fn" => {
+                    i = self.parse_fn(i, end, module, owner, is_pub);
+                    is_pub = false;
+                }
+                "mod" => {
+                    let name = self.text(i + 1).to_owned();
+                    if self.text(i + 2) == "{" {
+                        let close = self.ctx.matching_pub(i + 2, "{", "}");
+                        let mut inner = module.to_vec();
+                        inner.push(name);
+                        self.parse_items(i + 3, close.min(end), &inner, &Owner::None);
+                        i = close + 1;
+                    } else {
+                        i = self.skip_item(i + 1, end);
+                    }
+                    is_pub = false;
+                }
+                "impl" => {
+                    i = self.parse_impl(i, end, module);
+                    is_pub = false;
+                }
+                "trait" => {
+                    i = self.parse_trait(i, end, module);
+                    is_pub = false;
+                }
+                "use" => {
+                    i = self.parse_use(i + 1, end);
+                    is_pub = false;
+                }
+                "static" => {
+                    i = self.parse_static(i, end);
+                    is_pub = false;
+                }
+                "struct" | "enum" | "union" | "type" | "const" => {
+                    i = self.skip_item(i + 1, end);
+                    is_pub = false;
+                }
+                "macro_rules" => {
+                    // `macro_rules! name { … }`
+                    let mut j = i + 1;
+                    while j < end && self.text(j) != "{" {
+                        j += 1;
+                    }
+                    i = if j < end {
+                        self.ctx.matching_pub(j, "{", "}") + 1
+                    } else {
+                        end
+                    };
+                    is_pub = false;
+                }
+                "{" => {
+                    // Stray block (shouldn't happen at item level) —
+                    // step over it rather than diving in.
+                    i = self.ctx.matching_pub(i, "{", "}") + 1;
+                    is_pub = false;
+                }
+                _ => {
+                    i += 1;
+                    is_pub = false;
+                }
+            }
+        }
+    }
+
+    /// Skip to the end of a non-fn item starting after its keyword:
+    /// the `;` ending a declaration or the close of the first brace
+    /// group, whichever comes first at paren depth 0.
+    fn skip_item(&self, mut i: usize, end: usize) -> usize {
+        let mut paren = 0i32;
+        while i < end {
+            match self.text(i) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                ";" if paren == 0 => return i + 1,
+                "{" if paren == 0 => return self.ctx.matching_pub(i, "{", "}") + 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Parse `fn name …` at sig index `i` (pointing at `fn`). Returns
+    /// the index just past the item.
+    fn parse_fn(
+        &mut self,
+        i: usize,
+        end: usize,
+        module: &[String],
+        owner: &Owner,
+        is_pub: bool,
+    ) -> usize {
+        let fn_line = self.line_of(i);
+        let name = self.text(i + 1).to_owned();
+        if name.is_empty() || self.text(i + 1) == "(" {
+            // `fn(` — a bare fn-pointer type, not an item.
+            return i + 1;
+        }
+        // Find the body `{` (or `;` for bodyless decls) at paren depth
+        // 0, collecting the names of byte-slice params (`buf: &[u8]`,
+        // `raw: &mut [u8; N]`) on the way — the wire-parser shape the
+        // index-sink policy applies to.
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        let mut byte_slice_params: Vec<String> = Vec::new();
+        let mut cur_param: Option<String> = None;
+        let body_open = loop {
+            if j >= end {
+                break None;
+            }
+            match self.text(j) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                ":" if paren == 1 && self.text(j + 1) != ":" && self.text(j - 1) != ":" => {
+                    let mut k = j - 1;
+                    while k > 0 && matches!(self.text(k), "mut" | "ref") {
+                        k -= 1;
+                    }
+                    if self
+                        .ctx
+                        .sig_tok(k)
+                        .is_some_and(|t| t.kind == TokenKind::Ident)
+                    {
+                        cur_param = Some(self.text(k).to_owned());
+                    }
+                }
+                "," if paren == 1 => cur_param = None,
+                "[" if self.text(j + 1) == "u8" => {
+                    if let Some(p) = cur_param.take() {
+                        byte_slice_params.push(p);
+                    }
+                }
+                "{" if paren == 0 => break Some(j),
+                ";" if paren == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let byte_slice_param = !byte_slice_params.is_empty();
+        let is_hot = self
+            .hot_lines
+            .iter()
+            .any(|&l| l == fn_line || l + 1 == fn_line);
+        let (trait_name, owner_name) = match owner {
+            Owner::None => (None, None),
+            Owner::Impl { ty, trait_name } => (trait_name.clone(), Some(ty.clone())),
+            Owner::Trait(t) => (None, Some(t.clone())),
+        };
+        let mut item = FnItem {
+            name,
+            module: module.to_vec(),
+            owner: owner_name,
+            trait_impl: trait_name,
+            is_pub,
+            is_test: self.ctx.is_test_line(fn_line),
+            line: fn_line,
+            end_line: fn_line,
+            byte_slice_param,
+            is_hot,
+            calls: Vec::new(),
+            facts: FnFacts::default(),
+        };
+        let Some(open) = body_open else {
+            self.out.fns.push(item);
+            return j.min(end) + 1;
+        };
+        let close = self.ctx.matching_pub(open, "{", "}");
+        item.end_line = self.line_of(close).max(fn_line);
+        self.scan_body(
+            open + 1,
+            close.min(end),
+            module,
+            &mut item,
+            &byte_slice_params,
+        );
+        self.out.fns.push(item);
+        close + 1
+    }
+
+    /// Parse an `impl … {` header at `i` (pointing at `impl`) and the
+    /// items inside it.
+    fn parse_impl(&mut self, i: usize, end: usize, module: &[String]) -> usize {
+        // Collect header tokens up to the `{` at paren depth 0.
+        let mut j = i + 1;
+        let mut paren = 0i32;
+        let mut header: Vec<(usize, String)> = Vec::new();
+        while j < end {
+            match self.text(j) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "{" if paren == 0 => break,
+                ";" if paren == 0 => return j + 1, // `impl Trait for Type;` (odd) — skip
+                t => header.push((j, t.to_owned())),
+            }
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let open = j;
+        let close = self.ctx.matching_pub(open, "{", "}");
+        // Split on a top-angle-depth `for`: before = trait, after = type.
+        // Skip the leading generics group (`impl<…>`).
+        let mut depth = 0i32;
+        let mut for_at: Option<usize> = None;
+        for (k, (_, t)) in header.iter().enumerate() {
+            match t.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    // Ignore the `>` of `->` (arrow in Fn bounds).
+                    let prev = k.checked_sub(1).map(|p| header[p].1.as_str());
+                    if prev != Some("-") {
+                        depth -= 1;
+                    }
+                }
+                "for" if depth == 0 => {
+                    for_at = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let type_name = |toks: &[(usize, String)]| -> Option<String> {
+            // Last CamelCase-ish ident before generics of the path:
+            // `lv_net::routing::Geographic<…>` → `Geographic`.
+            let mut best = None;
+            let mut depth = 0i32;
+            for (k, (_, t)) in toks.iter().enumerate() {
+                match t.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        let prev = k.checked_sub(1).map(|p| toks[p].1.as_str());
+                        if prev != Some("-") {
+                            depth -= 1;
+                        }
+                    }
+                    _ if depth == 0 => {
+                        let is_ident = t
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_alphabetic() || c == '_');
+                        if is_ident && !KEYWORDS_NOT_CALLS.contains(&t.as_str()) {
+                            best = Some(t.clone());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            best
+        };
+        let owner = match for_at {
+            Some(k) => Owner::Impl {
+                ty: type_name(&header[k + 1..]).unwrap_or_default(),
+                trait_name: type_name(&header[..k]),
+            },
+            None => Owner::Impl {
+                ty: type_name(&header).unwrap_or_default(),
+                trait_name: None,
+            },
+        };
+        self.parse_items(open + 1, close.min(end), module, &owner);
+        close + 1
+    }
+
+    /// Parse `trait Name … { … }` at `i` (pointing at `trait`).
+    fn parse_trait(&mut self, i: usize, end: usize, module: &[String]) -> usize {
+        let name = self.text(i + 1).to_owned();
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        while j < end {
+            match self.text(j) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "{" if paren == 0 => break,
+                ";" if paren == 0 => return j + 1, // `trait Alias = …;`
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let close = self.ctx.matching_pub(j, "{", "}");
+        if !self.ctx.is_test_line(self.line_of(i)) {
+            self.out.traits_defined.push(name.clone());
+        }
+        self.parse_items(j + 1, close.min(end), module, &Owner::Trait(name));
+        close + 1
+    }
+
+    /// Parse a `use …;` tree starting just after the `use` keyword.
+    fn parse_use(&mut self, mut i: usize, end: usize) -> usize {
+        // Collect the flat token texts up to `;`, then expand groups.
+        let start = i;
+        while i < end && self.text(i) != ";" {
+            i += 1;
+        }
+        let toks: Vec<String> = (start..i).map(|k| self.text(k).to_owned()).collect();
+        let mut uses = Vec::new();
+        expand_use_tree(&toks, &mut Vec::new(), &mut uses);
+        self.out.uses.extend(uses);
+        i + 1
+    }
+
+    /// Parse `static [mut] NAME: Type = …;` at `i` (pointing at
+    /// `static`).
+    fn parse_static(&mut self, i: usize, end: usize) -> usize {
+        let line = self.line_of(i);
+        let mut j = i + 1;
+        let mutable = self.text(j) == "mut";
+        if mutable {
+            j += 1;
+        }
+        let name = self.text(j).to_owned();
+        // Type tokens: between `:` and `=` (or `;`).
+        let mut ty = String::new();
+        let mut k = j + 1;
+        let mut paren = 0i32;
+        while k < end {
+            match self.text(k) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "=" | ";" if paren == 0 => break,
+                t => {
+                    ty.push_str(t);
+                    ty.push(' ');
+                }
+            }
+            k += 1;
+        }
+        const CELLS: &[&str] = &[
+            "Mutex",
+            "RwLock",
+            "RefCell",
+            "Cell",
+            "UnsafeCell",
+            "OnceLock",
+            "LazyLock",
+            "OnceCell",
+            "AtomicUsize",
+            "AtomicU64",
+            "AtomicU32",
+            "AtomicU16",
+            "AtomicU8",
+            "AtomicIsize",
+            "AtomicI64",
+            "AtomicI32",
+            "AtomicBool",
+            "AtomicPtr",
+        ];
+        let interior_mutable = CELLS.iter().any(|c| ty.contains(c));
+        if !name.is_empty() && name != ":" {
+            self.out.statics.push(StaticItem {
+                name,
+                mutable,
+                interior_mutable,
+                line,
+                is_test: self.ctx.is_test_line(line),
+            });
+        }
+        self.skip_item(k, end)
+    }
+
+    /// Scan a fn body for calls, facts, and nested fns. Index sinks
+    /// are only collected for `byte_slice_params` receivers.
+    fn scan_body(
+        &mut self,
+        mut i: usize,
+        end: usize,
+        module: &[String],
+        item: &mut FnItem,
+        byte_slice_params: &[String],
+    ) {
+        let mut len_checked: Vec<String> = Vec::new();
+        let mut raw_index_sinks: Vec<(Sink, String)> = Vec::new();
+        let mut mentions_trial_runner = false;
+        let mut calls_run = false;
+        while i < end {
+            let t = self.text(i).to_owned();
+            // Nested named fn: its own item; don't attribute to parent.
+            if t == "fn"
+                && self
+                    .ctx
+                    .sig_tok(i + 1)
+                    .is_some_and(|n| n.kind == TokenKind::Ident)
+                && self.text(i + 2) != ":"
+            {
+                i = self.parse_fn(i, end, module, &Owner::None, false);
+                continue;
+            }
+            if t == "impl" && self.text(i + 1) != "<" && looks_like_impl_block(self, i, end) {
+                i = self.parse_impl(i, end, module);
+                continue;
+            }
+            let tok = match self.ctx.sig_tok(i) {
+                Some(t) => *t,
+                None => break,
+            };
+            let (line, col) = (tok.line, tok.col);
+            let sink = |what: &str, p: &Parser<'_, '_>| Sink {
+                line,
+                col,
+                what: what.to_owned(),
+                snippet: p.ctx.snippet(line),
+            };
+            if tok.kind == TokenKind::Ident {
+                match t.as_str() {
+                    "Instant" | "SystemTime" => {
+                        item.facts.wall_clock.push(sink(&t, self));
+                    }
+                    "thread_rng" | "OsRng" | "RandomState" | "from_entropy" | "getrandom" => {
+                        item.facts.os_random.push(sink(&t, self));
+                    }
+                    "TrialRunner" => mentions_trial_runner = true,
+                    _ => {}
+                }
+                // Panic macros: `panic !`, excluding `assert` (debug
+                // assertions are policy-allowed; the per-file no-panic
+                // rule has the same carve-out).
+                if PANIC_MACROS.contains(&t.as_str()) && t != "assert" && self.text(i + 1) == "!" {
+                    item.facts.panics.push(sink(&format!("{t}!"), self));
+                }
+                // `.unwrap()` / `.expect(`
+                if (t == "unwrap" || t == "expect")
+                    && i >= 1
+                    && self.text(i - 1) == "."
+                    && self.text(i + 1) == "("
+                {
+                    item.facts.panics.push(sink(&format!(".{t}()"), self));
+                }
+                // `Box::new` / `Vec::new`
+                if (t == "Box" || t == "Vec")
+                    && self.text(i + 1) == ":"
+                    && self.text(i + 2) == ":"
+                    && self.text(i + 3) == "new"
+                {
+                    item.facts.allocs.push(sink(&format!("{t}::new"), self));
+                }
+                // `.to_string()`
+                if t == "to_string" && i >= 1 && self.text(i - 1) == "." && self.text(i + 1) == "("
+                {
+                    item.facts.allocs.push(sink(".to_string()", self));
+                }
+                // `.lock(` / `.try_lock(`
+                if (t == "lock" || t == "try_lock")
+                    && i >= 1
+                    && self.text(i - 1) == "."
+                    && self.text(i + 1) == "("
+                {
+                    item.facts.locks.push(sink(&format!(".{t}()"), self));
+                }
+                // ALL_CAPS reference (candidate static use).
+                if t.len() > 1
+                    && t.chars()
+                        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+                    && t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                {
+                    item.facts.caps_refs.push(sink(&t, self));
+                }
+                // Guard observations: `x.len(` / `x.is_empty(` /
+                // `x.get(` bound-check the receiver, and passing `x`
+                // as a bare argument (`need(x, 6)?`, `parse(x)`)
+                // delegates validation to the callee — either clears
+                // subsequent indexing of `x` in this body.
+                let bounds_call = self.text(i + 1) == "."
+                    && matches!(self.text(i + 2), "len" | "is_empty" | "get")
+                    && self.text(i + 3) == "(";
+                let bare_argument = i >= 1
+                    && matches!(self.text(i - 1), "(" | "," | "&")
+                    && !matches!(self.text(i + 1), "[" | ".");
+                if (bounds_call || bare_argument) && !len_checked.contains(&t) {
+                    len_checked.push(t.clone());
+                }
+                // Call sites.
+                if !KEYWORDS_NOT_CALLS.contains(&t.as_str()) {
+                    let after = self.after_turbofish(i + 1, end);
+                    if self.text(after) == "(" {
+                        if self.text(i - 1) == "." {
+                            if t == "run" {
+                                calls_run = true;
+                            }
+                            item.calls.push(CallSite {
+                                name: t.clone(),
+                                kind: CallKind::Method,
+                                line,
+                            });
+                        } else if self.text(i + 1) == "(" || self.text(after) == "(" {
+                            // Walk back over `a :: b ::` qualifiers.
+                            let mut quals = Vec::new();
+                            let mut j = i;
+                            while j >= 3
+                                && self.text(j - 1) == ":"
+                                && self.text(j - 2) == ":"
+                                && self
+                                    .ctx
+                                    .sig_tok(j - 3)
+                                    .is_some_and(|q| q.kind == TokenKind::Ident)
+                            {
+                                quals.insert(0, self.text(j - 3).to_owned());
+                                j -= 3;
+                            }
+                            item.calls.push(CallSite {
+                                name: t.clone(),
+                                kind: CallKind::Path { quals },
+                                line,
+                            });
+                        }
+                    }
+                }
+                // Slice-index expression on a byte-slice param: ident
+                // directly followed by `[`. Other receivers (NodeId
+                // arrays, Vec fields) are structurally bounded by
+                // construction and out of scope.
+                if self.text(i + 1) == "[" && byte_slice_params.contains(&t) {
+                    raw_index_sinks.push((sink(&format!("{t}[..]"), self), t.clone()));
+                }
+            }
+            i += 1;
+        }
+        // Index sinks survive only when the receiver has no visible
+        // bounds handling anywhere in the body.
+        item.facts.index_sinks = raw_index_sinks
+            .into_iter()
+            .filter(|(_, recv)| !len_checked.contains(recv))
+            .map(|(s, _)| s)
+            .collect();
+        item.facts.trial_caller = mentions_trial_runner && calls_run;
+    }
+
+    /// If sig index `i` starts a turbofish (`:: < … >`), return the
+    /// index just past the closing `>`; otherwise return `i`.
+    fn after_turbofish(&self, i: usize, end: usize) -> usize {
+        if self.text(i) != ":" || self.text(i + 1) != ":" || self.text(i + 2) != "<" {
+            return i;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < end {
+            match self.text(j) {
+                "<" => depth += 1,
+                ">" => {
+                    if self.text(j - 1) != "-" {
+                        depth -= 1;
+                        if depth == 0 {
+                            return j + 1;
+                        }
+                    }
+                }
+                "(" | ")" | ";" | "{" | "}" => return i, // not a turbofish
+                _ => {}
+            }
+            j += 1;
+        }
+        i
+    }
+}
+
+/// Heuristic: does `impl` at `i` open an `impl … { … }` block (vs. an
+/// `impl Trait` return/param type)? True when a `{` appears before any
+/// `;`, `)` or `,` at depth 0.
+fn looks_like_impl_block(p: &Parser<'_, '_>, i: usize, end: usize) -> bool {
+    let mut paren = 0i32;
+    for j in (i + 1)..end.min(i + 64) {
+        match p.text(j) {
+            "(" => paren += 1,
+            ")" if paren == 0 => return false,
+            ")" => paren -= 1,
+            "," | ";" | ">" if paren == 0 => return false,
+            "{" if paren == 0 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Expand a flat `use` token list (without the `use` keyword or `;`)
+/// into local-name → path mappings. Handles `a::b::{c, d as e}`,
+/// nested groups, `as` aliases, and `*` globs.
+fn expand_use_tree(toks: &[String], prefix: &mut Vec<String>, out: &mut Vec<UseItem>) {
+    let mut i = 0;
+    let depth_start = prefix.len();
+    while i < toks.len() {
+        match toks[i].as_str() {
+            ":" => i += 1,
+            "{" => {
+                // Split the group into comma-separated parts at depth 0.
+                let close = matching_brace(toks, i);
+                let inner = &toks[i + 1..close];
+                for part in split_top_commas(inner) {
+                    expand_use_tree(&part, prefix, out);
+                }
+                i = close + 1;
+                // After a group the path prefix resets to the group's
+                // own base.
+                prefix.truncate(depth_start);
+            }
+            "}" | "," => i += 1,
+            "*" => {
+                out.push(UseItem {
+                    local: "*".to_owned(),
+                    path: prefix.clone(),
+                });
+                i += 1;
+            }
+            "as" => {
+                // Rename the previous terminal segment.
+                let alias = toks.get(i + 1).cloned().unwrap_or_default();
+                if let Some(last) = out.last_mut() {
+                    last.local = alias;
+                }
+                i += 2;
+            }
+            seg => {
+                let is_last = i + 1 >= toks.len()
+                    || toks[i + 1] == ","
+                    || toks[i + 1] == "as"
+                    || toks[i + 1] == "}";
+                prefix.push(seg.to_owned());
+                if is_last {
+                    out.push(UseItem {
+                        local: seg.to_owned(),
+                        path: prefix.clone(),
+                    });
+                    prefix.truncate(depth_start);
+                }
+                i += 1;
+            }
+        }
+    }
+    prefix.truncate(depth_start);
+}
+
+fn matching_brace(toks: &[String], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn split_top_commas(toks: &[String]) -> Vec<Vec<String>> {
+    let mut parts = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in toks {
+        match t.as_str() {
+            "{" => {
+                depth += 1;
+                cur.push(t.clone());
+            }
+            "}" => {
+                depth -= 1;
+                cur.push(t.clone());
+            }
+            "," if depth == 0 => {
+                if !cur.is_empty() {
+                    parts.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+impl FnItem {
+    /// `crate::module::Owner::name` display form.
+    pub fn pretty(&self, crate_key: &str) -> String {
+        let mut s = String::from(crate_key);
+        for m in &self.module {
+            s.push_str("::");
+            s.push_str(m);
+        }
+        if let Some(o) = &self.owner {
+            s.push_str("::");
+            s.push_str(o);
+        }
+        s.push_str("::");
+        s.push_str(&self.name);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(path: &str, src: &str) -> ParsedFile {
+        let ctx = FileContext::new(path, src);
+        parse_file(&ctx, path)
+    }
+
+    #[test]
+    fn file_module_paths() {
+        assert_eq!(
+            file_module_path("crates/net/src/routing/flooding.rs"),
+            vec!["routing", "flooding"]
+        );
+        assert_eq!(
+            file_module_path("crates/net/src/routing/mod.rs"),
+            vec!["routing"]
+        );
+        assert!(file_module_path("crates/net/src/lib.rs").is_empty());
+        assert!(file_module_path("src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn parses_free_fns_and_calls() {
+        let f = parse(
+            "crates/net/src/x.rs",
+            "pub fn a() { b(); c::d(); obj.m(1); }\nfn b() {}\n",
+        );
+        assert_eq!(f.fns.len(), 2);
+        let a = &f.fns[0];
+        assert!(a.is_pub);
+        assert_eq!(a.name, "a");
+        assert_eq!(a.calls.len(), 3);
+        assert_eq!(a.calls[0].name, "b");
+        assert_eq!(
+            a.calls[1].kind,
+            CallKind::Path {
+                quals: vec!["c".to_owned()]
+            }
+        );
+        assert_eq!(a.calls[2].kind, CallKind::Method);
+        assert!(!f.fns[1].is_pub);
+    }
+
+    #[test]
+    fn impl_blocks_attribute_owner_and_trait() {
+        let src = "struct S;\ntrait T { fn t(&self) { helper(); } }\n\
+                   impl T for S { fn t(&self) { self.go(); } }\n\
+                   impl S { pub fn go(&self) {} }\n";
+        let f = parse("crates/net/src/x.rs", src);
+        let names: Vec<(String, Option<String>, Option<String>)> = f
+            .fns
+            .iter()
+            .map(|x| (x.name.clone(), x.owner.clone(), x.trait_impl.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("t".to_owned(), Some("T".to_owned()), None),
+                ("t".to_owned(), Some("S".to_owned()), Some("T".to_owned())),
+                ("go".to_owned(), Some("S".to_owned()), None),
+            ]
+        );
+        assert_eq!(f.traits_defined, vec!["T"]);
+    }
+
+    #[test]
+    fn inline_mods_extend_module_path() {
+        let src = "mod inner { pub fn f() {} }\n";
+        let f = parse("crates/net/src/routing/mod.rs", src);
+        assert_eq!(f.fns[0].module, vec!["routing", "inner"]);
+    }
+
+    #[test]
+    fn facts_extracted() {
+        let src = "fn f(buf: &[u8]) -> u8 {\n\
+                   let t = Instant::now();\n\
+                   let r = thread_rng();\n\
+                   x.unwrap(); panic!(\"boom\");\n\
+                   let b = Box::new(1); let v = Vec::new(); let s = y.to_string();\n\
+                   let g = m.lock().unwrap();\n\
+                   buf[0]\n\
+                   }\n";
+        let f = parse("crates/net/src/x.rs", src);
+        let facts = &f.fns[0].facts;
+        assert_eq!(facts.wall_clock.len(), 1);
+        assert_eq!(facts.os_random.len(), 1);
+        assert_eq!(facts.panics.len(), 3); // unwrap, panic!, lock-unwrap
+        assert_eq!(facts.allocs.len(), 3);
+        assert_eq!(facts.locks.len(), 1);
+        assert_eq!(facts.index_sinks.len(), 1);
+        assert!(f.fns[0].byte_slice_param);
+    }
+
+    #[test]
+    fn len_guard_suppresses_index_sink() {
+        let src = "fn f(buf: &[u8]) -> u8 { if buf.len() < 2 { return 0; } buf[1] }\n";
+        let f = parse("crates/net/src/x.rs", src);
+        assert!(f.fns[0].facts.index_sinks.is_empty());
+        let src2 = "fn f(buf: &[u8]) -> u8 { buf[1] }\n";
+        let f2 = parse("crates/net/src/x.rs", src2);
+        assert_eq!(f2.fns[0].facts.index_sinks.len(), 1);
+    }
+
+    #[test]
+    fn trial_caller_detected() {
+        let src = "fn drive() { let r = TrialRunner::new(1, 4); let out = r.run(|t| t.index); }\n";
+        let f = parse("crates/testbed/src/x.rs", src);
+        assert!(f.fns[0].facts.trial_caller);
+        let plain = parse("crates/testbed/src/x.rs", "fn g() { r.run(1); }");
+        assert!(!plain.fns[0].facts.trial_caller);
+    }
+
+    #[test]
+    fn use_trees_expand() {
+        let src = "use std::collections::{BTreeMap, HashMap as HM};\nuse lv_net::routing::*;\n";
+        let f = parse("crates/net/src/x.rs", src);
+        let m: Vec<(String, Vec<String>)> = f
+            .uses
+            .iter()
+            .map(|u| (u.local.clone(), u.path.clone()))
+            .collect();
+        assert!(m.contains(&(
+            "BTreeMap".to_owned(),
+            vec!["std".into(), "collections".into(), "BTreeMap".into()]
+        )));
+        assert!(m.contains(&(
+            "HM".to_owned(),
+            vec!["std".into(), "collections".into(), "HashMap".into()]
+        )));
+        assert!(m.contains(&("*".to_owned(), vec!["lv_net".into(), "routing".into()])));
+    }
+
+    #[test]
+    fn statics_parsed() {
+        let src = "static mut RAW: u32 = 0;\nstatic TABLE: Mutex<Vec<u32>> = Mutex::new(Vec::new());\nstatic OK: u32 = 1;\n";
+        let f = parse("crates/net/src/x.rs", src);
+        assert_eq!(f.statics.len(), 3);
+        assert!(f.statics[0].mutable);
+        assert!(f.statics[1].interior_mutable);
+        assert!(!f.statics[2].mutable && !f.statics[2].interior_mutable);
+    }
+
+    #[test]
+    fn test_fns_flagged() {
+        let src = "#[cfg(test)]\nmod tests {\n fn helper() { x.unwrap(); }\n}\nfn real() {}\n";
+        let f = parse("crates/net/src/x.rs", src);
+        assert!(f.fns[0].is_test);
+        assert!(!f.fns[1].is_test);
+    }
+
+    #[test]
+    fn nested_fns_are_separate_items() {
+        let src = "fn outer() {\n fn inner() { x.unwrap(); }\n inner();\n}\n";
+        let f = parse("crates/net/src/x.rs", src);
+        assert_eq!(f.fns.len(), 2);
+        let inner = f.fns.iter().find(|x| x.name == "inner").unwrap();
+        let outer = f.fns.iter().find(|x| x.name == "outer").unwrap();
+        assert_eq!(inner.facts.panics.len(), 1);
+        assert!(outer.facts.panics.is_empty());
+        assert_eq!(outer.calls.len(), 1);
+    }
+
+    #[test]
+    fn hot_tag_and_turbofish() {
+        let src = "// lv-lint: hot\nfn f() { g::<u32>(); h.collect::<Vec<_>>(); }\n";
+        let f = parse("crates/kernel/src/x.rs", src);
+        assert!(f.fns[0].is_hot);
+        let names: Vec<&str> = f.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"g"));
+        assert!(names.contains(&"collect"));
+    }
+}

@@ -10,6 +10,18 @@
 use crate::config::{crate_key_of, LintConfig};
 use crate::lexer::{tokenize, Token, TokenKind};
 
+/// One hop of the call chain behind an interprocedural finding: a
+/// function the taint flowed through on its way from source to sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Display name (`crate::module::Type::fn`).
+    pub func: String,
+    /// Repo-relative file holding the function.
+    pub path: String,
+    /// 1-based line of the `fn` item.
+    pub line: u32,
+}
+
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -25,6 +37,9 @@ pub struct Finding {
     pub message: String,
     /// The trimmed source line (used for baseline fingerprints).
     pub snippet: String,
+    /// Call chain from taint source to the sink, outermost first.
+    /// Empty for per-file (lexical) rules.
+    pub chain: Vec<ChainHop>,
 }
 
 impl Finding {
@@ -34,6 +49,21 @@ impl Finding {
             "{}:{}:{}: [{}] {}",
             self.path, self.line, self.col, self.rule, self.message
         )
+    }
+
+    /// Render the call-chain evidence as indented continuation lines
+    /// (empty string when there is no chain). Kept off the primary
+    /// `render()` line so `path:line:col:` stays machine-parseable.
+    pub fn render_chain(&self) -> String {
+        let mut s = String::new();
+        for (i, hop) in self.chain.iter().enumerate() {
+            let arrow = if i == 0 { "chain:" } else { "    ->" };
+            s.push_str(&format!(
+                "    {arrow} {} ({}:{})\n",
+                hop.func, hop.path, hop.line
+            ));
+        }
+        s
     }
 }
 
@@ -117,6 +147,7 @@ impl<'a> FileContext<'a> {
             col: tok.col,
             message,
             snippet: self.snippet(tok.line),
+            chain: Vec::new(),
         });
     }
 
@@ -852,6 +883,14 @@ impl<'a> FileContext<'a> {
     /// group opened at `open_idx`.
     pub fn matching_pub(&self, open_idx: usize, open: &str, close: &str) -> usize {
         self.matching(open_idx, open, close)
+    }
+
+    /// Inline `lv-lint: allow(rule)` directives as `(line, rule)` pairs
+    /// (`"all"` allows every rule) — the item parser carries these into
+    /// its owned [`crate::parse::ParsedFile`] so graph rules can honor
+    /// them after the borrow ends.
+    pub fn allow_directives(&self) -> &[(u32, String)] {
+        &self.allows
     }
 }
 

@@ -246,6 +246,13 @@ fn binary_lists_all_rules() {
     for rule in lv_lint::rules::RULES {
         assert!(stdout.contains(rule.name), "missing {}", rule.name);
     }
+    for rule in lv_lint::interproc::GRAPH_RULES {
+        assert!(
+            stdout.contains(rule.name),
+            "missing graph rule {}",
+            rule.name
+        );
+    }
 }
 
 /// Fixtures must stay violation-free for every rule *other* than their

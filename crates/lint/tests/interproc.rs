@@ -1,0 +1,341 @@
+//! Self-tests for the interprocedural (call-graph) rules against the
+//! checked-in `fixtures/interproc_*.rs` specimens, a property test
+//! that graph construction is order-independent, and the binary-level
+//! contracts of the graph-era CLI (`--format json`, `--graph`,
+//! `--max-seconds`, `--update-baseline` pruning).
+
+use lv_lint::interproc::Analysis;
+use lv_lint::parse_source;
+use lv_lint::rules::Finding;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Parse `(path, fixture-file)` pairs and run the graph rules with
+/// `deps` as the crate dependency map.
+fn analyze(files: &[(&str, &str)], deps: &[(&str, &[&str])]) -> Vec<Finding> {
+    analysis_of(files, deps).run_rules()
+}
+
+fn analysis_of(files: &[(&str, &str)], deps: &[(&str, &[&str])]) -> Analysis {
+    let parsed = files
+        .iter()
+        .map(|(path, name)| parse_source(path, &fixture(name)))
+        .collect();
+    let deps: BTreeMap<String, Vec<String>> = deps
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.iter().map(|s| s.to_string()).collect()))
+        .collect();
+    Analysis::new(parsed, &deps)
+}
+
+fn lines_of<'f>(findings: &'f [Finding], rule: &str) -> Vec<&'f Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn determinism_taint_fixture() {
+    let findings = analyze(
+        &[("crates/kernel/src/fixture.rs", "interproc_taint.rs")],
+        &[("kernel", &[])],
+    );
+    let hits = lines_of(&findings, "determinism-taint");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits[0].line, 20, "sink line; allowed twin suppressed");
+    // Chain evidence: root (dispatch) -> deliver -> stamp.
+    let chain: Vec<&str> = hits[0].chain.iter().map(|h| h.func.as_str()).collect();
+    assert_eq!(
+        chain,
+        vec![
+            "kernel::fixture::Network::dispatch",
+            "kernel::fixture::deliver",
+            "kernel::fixture::stamp"
+        ]
+    );
+    assert!(hits[0].message.contains("2 hops"));
+}
+
+#[test]
+fn panic_reachability_fixture() {
+    let findings = analyze(
+        &[("crates/net/src/fixture.rs", "interproc_panic.rs")],
+        &[("net", &[])],
+    );
+    let hits = lines_of(&findings, "panic-reachability");
+    let lines: Vec<u32> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(
+        lines,
+        vec![11, 19],
+        "index sink + unwrap; allowed, private-only and guarded stay silent: {findings:?}"
+    );
+    // Every finding carries its pub-API chain.
+    for f in &hits {
+        assert!(f.chain.len() >= 2, "chain evidence missing: {f:?}");
+        assert!(f.chain[0].func.starts_with("net::fixture::"));
+    }
+}
+
+#[test]
+fn hot_path_alloc_transitive_fixture() {
+    let findings = analyze(
+        &[("crates/kernel/src/fixture.rs", "interproc_hot.rs")],
+        &[("kernel", &[])],
+    );
+    let hits = lines_of(&findings, "hot-path-alloc-transitive");
+    let lines: Vec<u32> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(
+        lines,
+        vec![15, 19],
+        "Box::new + to_string in callees; allowed, Vec::new and cold exempt: {findings:?}"
+    );
+}
+
+#[test]
+fn shard_readiness_fixture() {
+    let findings = analyze(
+        &[("crates/kernel/src/fixture.rs", "interproc_shard.rs")],
+        &[("kernel", &[])],
+    );
+    let hits = lines_of(&findings, "shard-readiness");
+    let lines: Vec<u32> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(
+        lines,
+        vec![19, 19, 20],
+        "lock + interior-mutable ref on 19, static-mut ref on 20; \
+         allowed twin and offline helper exempt: {findings:?}"
+    );
+}
+
+/// Interprocedural fixtures must trip only their own rule: cross-rule
+/// noise would make the line assertions above misleading.
+#[test]
+fn interproc_fixtures_are_single_rule_specimens() {
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "crates/kernel/src/fixture.rs",
+            "interproc_taint.rs",
+            "determinism-taint",
+        ),
+        (
+            "crates/net/src/fixture.rs",
+            "interproc_panic.rs",
+            "panic-reachability",
+        ),
+        (
+            "crates/kernel/src/fixture.rs",
+            "interproc_hot.rs",
+            "hot-path-alloc-transitive",
+        ),
+        (
+            "crates/kernel/src/fixture.rs",
+            "interproc_shard.rs",
+            "shard-readiness",
+        ),
+    ];
+    for (path, file, own_rule) in cases {
+        let key = path.split('/').nth(1).unwrap_or("kernel");
+        let findings = analyze(&[(path, file)], &[(key, &[])]);
+        for f in &findings {
+            assert_eq!(
+                &f.rule, own_rule,
+                "{file} trips foreign rule {}: {f:?}",
+                f.rule
+            );
+        }
+    }
+}
+
+/// The full specimen set, across two crates with a dependency edge,
+/// used by the order-independence property below.
+const WORKSPACE: &[(&str, &str)] = &[
+    ("crates/kernel/src/taint.rs", "interproc_taint.rs"),
+    ("crates/kernel/src/hot.rs", "interproc_hot.rs"),
+    ("crates/kernel/src/shard.rs", "interproc_shard.rs"),
+    ("crates/net/src/fixture.rs", "interproc_panic.rs"),
+];
+const DEPS: &[(&str, &[&str])] = &[("kernel", &["net"]), ("net", &[])];
+
+proptest! {
+    /// Call-graph construction is deterministic under file-order
+    /// shuffling: any permutation of the input files yields the same
+    /// findings (down to chain evidence) and the same DOT dump as the
+    /// canonical order.
+    #[test]
+    fn graph_build_is_order_independent(seed in any::<u64>()) {
+        let canonical = analysis_of(WORKSPACE, DEPS);
+        let expected = canonical.run_rules();
+        let expected_dot = canonical.graph.to_dot();
+        prop_assert!(!expected.is_empty(), "specimens must produce findings");
+
+        // Fisher-Yates with a deterministic LCG from the proptest seed.
+        let mut files: Vec<(&str, &str)> = WORKSPACE.to_vec();
+        let mut state = seed | 1;
+        for i in (1..files.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            files.swap(i, j);
+        }
+
+        let shuffled = analysis_of(&files, DEPS);
+        let got = shuffled.run_rules();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert_eq!(g, e);
+        }
+        prop_assert_eq!(shuffled.graph.to_dot(), expected_dot);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary-level contracts
+// ---------------------------------------------------------------------
+
+/// Scaffold a throwaway workspace; returns its root.
+fn temp_workspace(tag: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("lv-lint-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::create_dir_all(&root).expect("mkdir");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write");
+    for (rel, src) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, src).expect("write");
+    }
+    root
+}
+
+fn run_lint(root: &std::path::Path, args: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_lv-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(args)
+        .output()
+        .expect("run lv-lint")
+}
+
+/// `--format json` emits one object per finding with the chain array;
+/// a graph-rule finding carries its hops.
+#[test]
+fn binary_json_format_carries_chains() {
+    let root = temp_workspace(
+        "json",
+        &[(
+            "crates/net/src/lib.rs",
+            "//! Specimen.\npub fn api(x: Option<u8>) -> u8 { helper(x) }\n\
+             fn helper(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )],
+    );
+    let out = run_lint(&root, &["--no-baseline", "--format", "json"]);
+    assert!(!out.status.success(), "violation must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('['), "stdout: {stdout}");
+    assert!(
+        stdout.contains("\"rule\": \"panic-reachability\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"chain\": [{\"func\": "), "{stdout}");
+    assert!(stdout.contains("net::api"), "{stdout}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// `--graph -` dumps a DOT call graph to stdout and exits 0 without
+/// gating on findings.
+#[test]
+fn binary_graph_dump() {
+    let root = temp_workspace(
+        "graph",
+        &[(
+            "crates/net/src/lib.rs",
+            "//! Specimen.\npub fn api() { helper() }\nfn helper() {}\n",
+        )],
+    );
+    let out = run_lint(&root, &["--graph", "-"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph"), "stdout: {stdout}");
+    assert!(stdout.contains("net::api"), "{stdout}");
+    assert!(stdout.contains("->"), "an edge must be present: {stdout}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// `--max-seconds` is a hard budget: impossible budgets fail even on a
+/// clean tree, generous ones pass.
+#[test]
+fn binary_timing_budget() {
+    let root = temp_workspace(
+        "budget",
+        &[("crates/net/src/lib.rs", "//! Clean.\nfn ok() {}\n")],
+    );
+    assert!(run_lint(&root, &["--no-baseline", "--max-seconds", "600"])
+        .status
+        .success());
+    let out = run_lint(&root, &["--no-baseline", "--max-seconds", "0"]);
+    assert!(!out.status.success(), "0s budget must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("over the 0s budget"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// `--update-baseline` drops entries whose file no longer exists and
+/// says so; afterwards the plain run is green with no stale noise.
+#[test]
+fn binary_update_baseline_prunes_deleted_files() {
+    let root = temp_workspace(
+        "prune",
+        &[
+            (
+                "crates/kernel/src/gone.rs",
+                "//! Doomed.\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            ),
+            ("crates/kernel/src/lib.rs", "//! Clean.\nfn ok() {}\n"),
+        ],
+    );
+    assert!(run_lint(&root, &["--update-baseline"]).status.success());
+    let baseline = std::fs::read_to_string(root.join("lint-baseline.txt")).expect("baseline");
+    assert!(baseline.contains("gone.rs"), "entry recorded: {baseline}");
+
+    std::fs::remove_file(root.join("crates/kernel/src/gone.rs")).expect("rm");
+    let out = run_lint(&root, &["--update-baseline"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("dropped baseline entry") && stderr.contains("gone.rs"),
+        "stderr: {stderr}"
+    );
+    let baseline = std::fs::read_to_string(root.join("lint-baseline.txt")).expect("baseline");
+    assert!(!baseline.contains("gone.rs"), "entry pruned: {baseline}");
+
+    let out = run_lint(&root, &[]);
+    assert!(out.status.success(), "clean after prune");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("stale baseline entry for"), "{stderr}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Text output prints the call chain as indented continuation lines
+/// under a problem-matcher-parseable head line.
+#[test]
+fn binary_text_output_prints_chain() {
+    let root = temp_workspace(
+        "chain",
+        &[(
+            "crates/net/src/lib.rs",
+            "//! Specimen.\npub fn api(x: Option<u8>) -> u8 { helper(x) }\n\
+             fn helper(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )],
+    );
+    let out = run_lint(&root, &["--no-baseline"]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/net/src/lib.rs:3:") && stdout.contains("[panic-reachability]"),
+        "head line: {stdout}"
+    );
+    assert!(stdout.contains("chain: net::api"), "chain lines: {stdout}");
+    assert!(stdout.contains("-> net::helper"), "chain lines: {stdout}");
+    std::fs::remove_dir_all(&root).ok();
+}

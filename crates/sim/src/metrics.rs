@@ -367,8 +367,10 @@ impl Counters {
                     ids.next();
                 }
                 (_, Some(_)) => {
-                    let (k, &v) = map.next().expect("peeked");
-                    out.push((k.as_str(), v));
+                    // The peek above guarantees the next exists.
+                    if let Some((k, &v)) = map.next() {
+                        out.push((k.as_str(), v));
+                    }
                 }
                 (Some(&&id), None) => {
                     out.push((id.name(), self.fast[id as usize]));

@@ -10,8 +10,8 @@ cargo test -q --all
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== lv-lint (determinism & invariant gate) =="
-cargo run -q -p lv-lint
+echo "== lv-lint (determinism & invariant gate, incl. graph rules) =="
+cargo run -q -p lv-lint -- --max-seconds 10
 
 echo "== scaling smoke (100 nodes, cached vs brute) =="
 cargo run --release -q -p lv-bench --bin figures -- --scale --sizes 100
